@@ -1,0 +1,81 @@
+// Ablation A1 (Section V-D, Lemmas 2-3): the reused-sampling edge
+// reliability relevance estimator (Algorithm 2) versus the naive
+// per-edge conditional-sampling baseline. The paper claims O(N a(V) E)
+// versus O(E * N a(V) E); this driver measures both wall-clock curves and
+// verifies the two estimators agree.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "chameleon/graph/generators.h"
+#include "chameleon/reliability/err.h"
+#include "chameleon/reliability/world_cache.h"
+#include "chameleon/util/timer.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv,
+      "Ablation: reused-sampling vs naive edge-relevance estimation");
+
+  std::printf("Ablation A1: ERR estimation — Algorithm 2 (reused sampling) "
+              "vs Lemma 2 baseline\n");
+  std::printf("N = %zu worlds per estimate; ER graphs with average degree "
+              "6.\n\n",
+              config.err_worlds);
+  std::printf("Accuracy is reported against a high-accuracy reference "
+              "(reused sampling with\n20x the worlds): both estimators are "
+              "unbiased, so equal RMSE at equal N is\nthe expected "
+              "outcome.\n\n");
+  std::printf("%8s %8s | %12s %12s %10s | %10s %10s\n", "nodes", "edges",
+              "naive (s)", "reused (s)", "speedup", "naive RMSE",
+              "reusedRMSE");
+
+  for (NodeId n : {50u, 100u, 200u, 400u}) {
+    Rng rng(config.seed + n);
+    const graph::Graph topology = graph::GenerateErdosRenyi(n, 3 * n, rng);
+    const graph::UncertainGraph g =
+        graph::AssignUniformProbabilities(topology, 0.1, 0.9, rng);
+
+    Timer t_naive;
+    Rng rng_naive(config.seed);
+    const auto naive =
+        rel::EstimateEdgeRelevanceNaive(g, config.err_worlds, rng_naive);
+    const double naive_seconds = t_naive.ElapsedSeconds();
+
+    Timer t_reused;
+    Rng rng_reused(config.seed);
+    const rel::WorldCache cache(g, config.err_worlds, rng_reused);
+    const auto reused = rel::EstimateEdgeRelevance(cache, rng_reused);
+    const double reused_seconds = t_reused.ElapsedSeconds();
+
+    // High-accuracy reference: the cheap estimator with 20x the worlds.
+    Rng rng_ref(config.seed + 999);
+    const rel::WorldCache ref_cache(g, 20 * config.err_worlds, rng_ref);
+    const auto reference = rel::EstimateEdgeRelevance(ref_cache, rng_ref);
+
+    auto rmse = [&](const std::vector<double>& estimate) {
+      double total = 0.0;
+      for (std::size_t e = 0; e < estimate.size(); ++e) {
+        const double d = estimate[e] - reference[e];
+        total += d * d;
+      }
+      return std::sqrt(total / static_cast<double>(estimate.size()));
+    };
+
+    std::printf("%8u %8zu | %12.3f %12.3f %9.1fx | %10.2f %10.2f\n", n,
+                g.num_edges(), naive_seconds, reused_seconds,
+                naive_seconds / std::max(reused_seconds, 1e-9), rmse(naive),
+                rmse(reused));
+  }
+
+  std::printf("\nReading: the reused-sampling estimator is asymptotically "
+              "|E| times cheaper\n(Lemma 3) while producing matching "
+              "estimates; this is what makes relevance-\nguided selection "
+              "affordable inside GenObf.\n");
+  return 0;
+}

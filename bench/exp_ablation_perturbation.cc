@@ -1,0 +1,112 @@
+// Ablation A2 (Section V-F, Lemmas 4-6): the anonymity-oriented
+// (max-entropy) probability alteration versus naive random-sign noise.
+//
+// Part 1: per-vertex degree entropy gained per unit of injected noise —
+// the quantity Lemma 5 ties to the global anonymity level.
+// Part 2: end to end — the noise scale sigma each variant needs to reach
+// the same (k, eps) target (smaller is better).
+
+#include <cstdio>
+
+#include "chameleon/anonymize/degree_distribution.h"
+#include "chameleon/anonymize/perturbation.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Ablation: max-entropy vs random-sign perturbation");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Ablation A2: anonymity-oriented (ME) vs naive (random-sign) "
+              "perturbation",
+              config, datasets);
+
+  // Part 1: average degree-entropy gain at fixed noise magnitude r.
+  std::printf("Part 1: mean per-vertex degree entropy (bits) after one "
+              "perturbation pass\n");
+  std::printf("%-16s %10s | %12s %12s %12s\n", "dataset", "noise r",
+              "original", "max-entropy", "random-sign");
+  for (const auto& d : datasets) {
+    // Sample a manageable vertex subset for the exact Poisson-binomial
+    // entropies.
+    Rng rng(config.seed + 5);
+    const NodeId sample_size = std::min<NodeId>(d.graph.num_nodes(), 300);
+    for (double r : {0.1, 0.3}) {
+      double h_orig = 0.0;
+      double h_me = 0.0;
+      double h_naive = 0.0;
+      for (NodeId i = 0; i < sample_size; ++i) {
+        const NodeId v = static_cast<NodeId>(
+            rng.NextBounded(d.graph.num_nodes()));
+        const auto probs = anon::IncidentProbabilities(d.graph, v);
+        if (probs.empty()) continue;
+        std::vector<double> me = probs;
+        std::vector<double> naive = probs;
+        for (std::size_t j = 0; j < probs.size(); ++j) {
+          me[j] = anon::PerturbProbability(
+              probs[j], r, anon::PerturbationScheme::kMaxEntropy, rng);
+          naive[j] = anon::PerturbProbability(
+              probs[j], r, anon::PerturbationScheme::kRandomSign, rng);
+        }
+        h_orig += anon::DegreeEntropyBits(probs);
+        h_me += anon::DegreeEntropyBits(me);
+        h_naive += anon::DegreeEntropyBits(naive);
+      }
+      const double denom = static_cast<double>(sample_size);
+      std::printf("%-16s %10.2f | %12.4f %12.4f %12.4f\n",
+                  d.spec.name.c_str(), r, h_orig / denom, h_me / denom,
+                  h_naive / denom);
+    }
+  }
+
+  // Part 2: sigma needed by RSME (max-entropy) vs RS (random-sign) for the
+  // same privacy target; the binary search finds the minimum feasible
+  // noise, so a smaller sigma means the scheme converts noise to anonymity
+  // more efficiently.
+  std::printf("\nPart 2: minimal sigma found by the binary search for the "
+              "same (k, eps)\n");
+  std::printf("(k values chosen near each dataset's privacy ceiling, where "
+              "noise is\nactually required — see exp_fig8's supplementary "
+              "table)\n");
+  std::printf("%-16s %6s | %14s %14s\n", "dataset", "k", "RSME (ME noise)",
+              "RS (naive)");
+  for (const auto& d : datasets) {
+    // Privacy-pressure sweep per dataset (harder than the common k list).
+    std::vector<int> hard_ks;
+    switch (d.spec.kind) {
+      case datasets::DatasetKind::kDblpLike:
+        hard_ks = {40, 60, 70, 80};
+        break;
+      case datasets::DatasetKind::kBrightkiteLike:
+        hard_ks = {40, 80, 120, 160};
+        break;
+      case datasets::DatasetKind::kPpiLike:
+        hard_ks = {40, 80, 100, 120};
+        break;
+    }
+    for (int k : hard_ks) {
+      auto report_sigma = [&](Method method) -> std::string {
+        anon::ChameleonOptions driver =
+            MakeDriverOptions(d, method, k, config);
+        auto result = (method == Method::kRepAn)
+                          ? Result<anon::ChameleonResult>(
+                                Status::InvalidArgument("unused"))
+                          : anon::Anonymize(d.graph, driver);
+        if (!result.ok()) return "infeasible";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.5f", result->sigma);
+        return buf;
+      };
+      std::printf("%-16s %6d | %14s %14s\n", d.spec.name.c_str(), k,
+                  report_sigma(Method::kRSME).c_str(),
+                  report_sigma(Method::kRS).c_str());
+    }
+  }
+  std::printf("\nReading: the gradient-guided (1 - 2p) alteration (Lemma 6) "
+              "extracts more\ndegree entropy from the same noise budget "
+              "than unguided noise, so the\nbinary search settles on a "
+              "smaller sigma.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#ifndef CHAMELEON_BENCH_EXP_COMMON_H_
+#define CHAMELEON_BENCH_EXP_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "chameleon/anonymize/chameleon.h"
+#include "chameleon/anonymize/rep_an.h"
+#include "chameleon/datasets/recipes.h"
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/status.h"
+
+/// \file exp_common.h
+/// Shared infrastructure for the experiment drivers (bench/exp_*.cc):
+/// flag parsing, dataset loading, the four compared methods of Table II,
+/// and a file cache so the per-figure binaries reuse each other's
+/// anonymization runs.
+///
+/// Scaling note (see DESIGN.md Section 4 and EXPERIMENTS.md): the datasets
+/// are laptop-scale synthetics (n ~ 2000-3000 at --scale=1) whose epsilon
+/// budgets admit the same *number* of skipped vertices as the paper's
+/// settings. At that budget the feasible k range shrinks with n, so the
+/// default sweep k in {10, 20, 30, 40} spans the same privacy-pressure
+/// regime (k/|V| ~ 0.3%-2%) as the paper's k in {100, 200, 300} on graphs
+/// 10-400x larger. Pass --k_list and --scale to run other regimes.
+
+namespace chameleon::bench {
+
+/// The four compared methods (Table II).
+enum class Method {
+  kRepAn,
+  kRSME,
+  kME,
+  kRS,
+};
+
+inline constexpr Method kAllMethods[] = {Method::kRepAn, Method::kRSME,
+                                         Method::kME, Method::kRS};
+
+/// Display name ("Rep-An", "RSME", ...).
+const char* MethodName(Method method);
+
+/// Common experiment parameters, parsed from the command line.
+struct ExperimentConfig {
+  double scale = 1.0;
+  std::vector<int> k_values = {10, 20, 30, 40};
+  std::uint64_t seed = 2018;
+  /// Worlds per Monte Carlo estimate (paper: 1000).
+  std::size_t worlds = 600;
+  /// Node pairs for reliability-discrepancy estimates.
+  std::size_t pairs = 1500;
+  /// GenObf trials per sigma.
+  int trials = 2;
+  /// Worlds for the edge-relevance estimate.
+  std::size_t err_worlds = 150;
+  /// Anonymized-graph cache directory ("" disables caching).
+  std::string cache_dir = "bench_cache";
+  bool trace = false;
+};
+
+/// Registers the shared flags, parses argv, and exits the process with a
+/// usage message on error.
+ExperimentConfig ParseExperimentFlags(int argc, char** argv,
+                                      const char* summary);
+
+/// A generated dataset plus its spec.
+struct DatasetInstance {
+  datasets::DatasetSpec spec;
+  graph::UncertainGraph graph;
+};
+
+/// Generates all three Table I datasets at the configured scale.
+std::vector<DatasetInstance> LoadDatasets(const ExperimentConfig& config);
+
+/// Runs one method at one privacy level, consulting the cache first.
+/// Returns the published uncertain graph, or a Status when the method
+/// cannot reach the requested privacy level (a reportable outcome, not a
+/// crash).
+Result<graph::UncertainGraph> RunMethod(const DatasetInstance& dataset,
+                                        Method method, int k,
+                                        const ExperimentConfig& config);
+
+/// Builds the ChameleonOptions used by RunMethod for a given method/k
+/// (exposed so drivers can report parameters).
+anon::ChameleonOptions MakeDriverOptions(const DatasetInstance& dataset,
+                                         Method method, int k,
+                                         const ExperimentConfig& config);
+
+/// Prints the standard experiment header (dataset table + parameters).
+void PrintHeader(const char* title, const ExperimentConfig& config,
+                 const std::vector<DatasetInstance>& datasets);
+
+/// Shared skeleton of the metric-preservation figures (9, 10, 11): for
+/// every dataset, evaluate `metric` on the original graph, then on each
+/// (k, method) anonymization, and print the ratio-of-absolute-difference
+/// table the paper reports. `metric` receives the graph and the config
+/// (for sampling budgets) and returns the metric value.
+using MetricFn = double (*)(const graph::UncertainGraph&,
+                            const ExperimentConfig&);
+void RunMetricFigure(const char* title, const char* metric_name,
+                     MetricFn metric, const ExperimentConfig& config,
+                     const std::vector<DatasetInstance>& datasets);
+
+}  // namespace chameleon::bench
+
+#endif  // CHAMELEON_BENCH_EXP_COMMON_H_

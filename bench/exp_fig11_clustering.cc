@@ -1,0 +1,43 @@
+// Figure 11 reproduction: preservation of the Clustering Coefficient,
+// computed as the Monte Carlo expectation of the average local clustering
+// coefficient over sampled possible worlds. Expected shape: Chameleon
+// beats Rep-An, whose representative extraction plus heavy noise disrupts
+// the local triangle structure.
+
+#include "chameleon/metrics/clustering.h"
+#include "chameleon/reliability/world_sampler.h"
+#include "chameleon/util/stats.h"
+#include "exp_common.h"
+
+namespace {
+
+double ClusteringMetric(const chameleon::graph::UncertainGraph& g,
+                        const chameleon::bench::ExperimentConfig& config) {
+  using namespace chameleon;
+  rel::WorldSampler sampler(g);
+  Rng rng(config.seed + 1111);
+  const std::size_t worlds = std::max<std::size_t>(8, config.worlds / 40);
+  RunningStats clustering;
+  for (std::size_t w = 0; w < worlds; ++w) {
+    const graph::Graph world = sampler.SampleGraph(rng);
+    clustering.Add(metrics::AverageClusteringCoefficient(world));
+  }
+  return clustering.Mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chameleon::bench;
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Figure 11: clustering coefficient preservation");
+  const auto datasets = LoadDatasets(config);
+  RunMetricFigure("Figure 11: clustering coefficient preservation "
+                  "(sampled possible worlds)",
+                  "E[avg clustering coefficient]", ClusteringMetric, config,
+                  datasets);
+  std::printf("Reading: Chameleon's fine-grained perturbation preserves "
+              "local clique\nstructure better than Rep-An (Section VI-B, "
+              "Figure 11).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3 reproduction: edge-probability distributions and degree
+// distributions of the three datasets.
+//
+// Part (a): histogram of edge probabilities — DBLP-like concentrates on a
+// few discrete values, BRIGHTKITE-like skews small, PPI-like is near
+// uniform.
+// Part (b): the degree tail ("unique" nodes): expected-degree CCDF plus
+// the count of vertices whose obfuscation level is below 300 (the paper's
+// criterion for "unique" high-degree nodes).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "chameleon/anonymize/obfuscation.h"
+#include "chameleon/util/stats.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Figure 3: edge probability & degree distributions");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Figure 3: edge probability & degree distributions", config,
+              datasets);
+
+  for (const auto& d : datasets) {
+    std::printf("--- %s ---------------------------------------------\n",
+                d.spec.name.c_str());
+    // (a) Edge-probability histogram.
+    Histogram prob_hist(0.0, 1.0, 20);
+    for (const auto& e : d.graph.edges()) prob_hist.Add(e.p);
+    std::printf("(a) edge probability histogram (bin center | count):\n%s\n",
+                prob_hist.ToAscii(44).c_str());
+
+    // (b) Degree distribution of the tail.
+    std::vector<double> degrees = d.graph.expected_degrees();
+    std::sort(degrees.begin(), degrees.end(), std::greater<double>());
+    std::printf("(b) expected-degree CCDF (heavy tail):\n");
+    std::printf("    %10s %12s\n", "degree >=", "# nodes");
+    for (double threshold : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+      const auto count = static_cast<std::size_t>(
+          std::lower_bound(degrees.begin(), degrees.end(), threshold,
+                           std::greater<double>()) -
+          degrees.begin());
+      std::printf("    %10.0f %12zu\n", threshold, count);
+    }
+    std::printf("    max expected degree: %.1f (mean %.2f)\n", degrees.front(),
+                Mean(degrees));
+
+    // "Unique" nodes in the paper's sense: obfuscation level below 300,
+    // i.e. posterior entropy under 300-anonymity.
+    const auto knowledge = anon::AdversaryDegrees(d.graph);
+    const auto report = anon::CheckObfuscation(d.graph, knowledge, 300);
+    std::printf("    'unique' nodes (obfuscation level < 300): %zu of %u "
+                "(%.2f%%)\n\n",
+                report.num_unobfuscated, d.graph.num_nodes(),
+                100.0 * report.epsilon_hat);
+  }
+  std::printf("Reading: larger 'unique' tails require more noise to "
+              "anonymize (Section IV-A).\n");
+  return 0;
+}

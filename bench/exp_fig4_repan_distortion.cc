@@ -1,0 +1,83 @@
+// Figure 4 reproduction: the structural distortion Rep-An introduces for
+// different privacy levels, quantified as the average reliability
+// discrepancy against the original uncertain graph — with the Chameleon
+// (RSME) result as the achievable lower bound and the representative-
+// extraction step measured in isolation.
+//
+// Expected shape (paper Section IV-A): Rep-An's error is large and grows
+// with k; a substantial share of it is incurred by the extraction step
+// alone; Chameleon's error is a small fraction of Rep-An's.
+
+#include <cstdio>
+
+#include "chameleon/anonymize/rep_an.h"
+#include "chameleon/reliability/discrepancy.h"
+#include "chameleon/util/string_util.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv,
+      "Figure 4: structural distortion of Rep-An vs privacy level");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Figure 4: Rep-An structural distortion (avg reliability "
+              "discrepancy)",
+              config, datasets);
+
+  for (const auto& d : datasets) {
+    rel::DiscrepancyOptions doptions;
+    doptions.num_worlds = config.worlds;
+    doptions.num_pairs = config.pairs;
+    doptions.seed = config.seed + 1;
+    const rel::DiscrepancyEvaluator evaluator(d.graph, doptions);
+
+    // Extraction-only distortion (no anonymization noise at all).
+    const auto extraction_only = anon::RepresentativeAsUncertain(
+        d.graph, anon::RepresentativeMethod::kGreedyDegree, config.seed);
+    const auto extraction_delta = evaluator.Evaluate(extraction_only);
+
+    std::printf("--- %s ---------------------------------------------\n",
+                d.spec.name.c_str());
+    std::printf("extraction step alone: mean |R - R~| = %.4f\n",
+                extraction_delta.ok() ? extraction_delta->mean : -1.0);
+    std::printf("%6s %16s %22s %14s\n", "k", "Rep-An", "Chameleon (RSME)",
+                "ratio");
+    for (int k : config.k_values) {
+      auto repan = RunMethod(d, Method::kRepAn, k, config);
+      auto rsme = RunMethod(d, Method::kRSME, k, config);
+      double repan_mean = -1.0;
+      double rsme_mean = -1.0;
+      if (repan.ok()) {
+        auto delta = evaluator.Evaluate(*repan);
+        if (delta.ok()) repan_mean = delta->mean;
+      }
+      if (rsme.ok()) {
+        auto delta = evaluator.Evaluate(*rsme);
+        if (delta.ok()) rsme_mean = delta->mean;
+      }
+      char repan_buf[32];
+      char rsme_buf[32];
+      std::snprintf(repan_buf, sizeof(repan_buf), "%s",
+                    repan.ok() ? StrFormat("%.4f", repan_mean).c_str()
+                               : "infeasible");
+      std::snprintf(rsme_buf, sizeof(rsme_buf), "%s",
+                    rsme.ok() ? StrFormat("%.4f", rsme_mean).c_str()
+                              : "infeasible");
+      if (repan.ok() && rsme.ok() && rsme_mean > 0.0) {
+        std::printf("%6d %16s %22s %13.1fx\n", k, repan_buf, rsme_buf,
+                    repan_mean / rsme_mean);
+      } else {
+        std::printf("%6d %16s %22s %14s\n", k, repan_buf, rsme_buf, "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: Rep-An's utility loss is dominated by detaching the "
+              "probabilities\n(extraction) and grows with k; Chameleon "
+              "achieves the same privacy at a\nfraction of the error "
+              "(Section IV-A).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 8 reproduction: how well each anonymization method preserves
+// Reliability — the mean two-terminal reliability discrepancy against the
+// original uncertain graph, per dataset and privacy level.
+//
+// Expected shape: RSME <= {RS, ME} << Rep-An at every k; errors grow with
+// k. A supplementary table reports each method's privacy ceiling (the
+// largest k it can satisfy at the dataset's tolerance), where the
+// uncertainty-aware methods dominate Rep-An by a wide margin.
+
+#include <cstdio>
+
+#include "chameleon/reliability/discrepancy.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Figure 8: reliability preservation per method");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Figure 8: reliability preservation (mean |R - R~| per pair)",
+              config, datasets);
+
+  for (const auto& d : datasets) {
+    rel::DiscrepancyOptions doptions;
+    doptions.num_worlds = config.worlds;
+    doptions.num_pairs = config.pairs;
+    doptions.seed = config.seed + 1;
+    const rel::DiscrepancyEvaluator evaluator(d.graph, doptions);
+
+    std::printf("--- %s ---------------------------------------------\n",
+                d.spec.name.c_str());
+    std::printf("%6s", "k");
+    for (Method method : kAllMethods) std::printf(" %12s", MethodName(method));
+    std::printf("\n");
+    for (int k : config.k_values) {
+      std::printf("%6d", k);
+      for (Method method : kAllMethods) {
+        auto published = RunMethod(d, method, k, config);
+        if (!published.ok()) {
+          std::printf(" %12s", "infeasible");
+          continue;
+        }
+        auto delta = evaluator.Evaluate(*published);
+        if (!delta.ok()) {
+          std::printf(" %12s", "error");
+          continue;
+        }
+        std::printf(" %12.4f", delta->mean);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Supplementary: the privacy ceiling per method — the largest probed k
+  // for which the method still finds a (k, eps)-obfuscation.
+  std::printf("Supplementary: privacy ceiling (largest feasible k at the "
+              "dataset tolerance)\n");
+  std::printf("%-16s", "dataset");
+  for (Method method : kAllMethods) std::printf(" %10s", MethodName(method));
+  std::printf("\n");
+  const int probe_ks[] = {40, 60, 80, 120, 160, 200};
+  for (const auto& d : datasets) {
+    std::printf("%-16s", d.spec.name.c_str());
+    for (Method method : kAllMethods) {
+      int ceiling = 0;
+      for (int k : probe_ks) {
+        if (RunMethod(d, method, k, config).ok()) {
+          ceiling = k;
+        } else {
+          break;
+        }
+      }
+      if (ceiling == 0) {
+        std::printf(" %10s", "<40");
+      } else {
+        std::printf(" %9d%s", ceiling,
+                    ceiling == probe_ks[5] ? "+" : " ");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nReading: uncertainty-aware methods preserve reliability at "
+              "every common k\nand reach privacy levels Rep-An cannot "
+              "achieve at all (Section VI-B).\n");
+  return 0;
+}

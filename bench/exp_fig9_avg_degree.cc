@@ -1,0 +1,29 @@
+// Figure 9 reproduction: preservation of the Average Node Degree. The
+// expected average degree has the closed form 2 * sum(p) / |V|; no
+// sampling needed. Expected shape: Chameleon variants stay within a few
+// percent; Rep-An's error grows sharply with k, hardest on the
+// heavy-tailed BRIGHTKITE/PPI-like datasets (Section VI-B).
+
+#include "exp_common.h"
+
+namespace {
+
+double AverageDegreeMetric(const chameleon::graph::UncertainGraph& g,
+                           const chameleon::bench::ExperimentConfig&) {
+  return g.ExpectedAverageDegree();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chameleon::bench;
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Figure 9: average node degree preservation");
+  const auto datasets = LoadDatasets(config);
+  RunMetricFigure("Figure 9: average node degree preservation",
+                  "E[average degree]", AverageDegreeMetric, config, datasets);
+  std::printf("Reading: Chameleon keeps the expected average degree close "
+              "to the original;\nRep-An's deviation grows with k "
+              "(Section VI-B, Figure 9).\n");
+  return 0;
+}

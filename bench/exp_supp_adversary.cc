@@ -1,0 +1,76 @@
+// Supplement S2: sensitivity to adversary precision.
+//
+// Definition 3 assumes an adversary who knows the target's exact degree.
+// Realistic attackers often know it only approximately ("has roughly 40
+// collaborators"). This driver coarsens the adversary's knowledge into
+// buckets of growing width and reports the raw release's exposed fraction
+// and the k-obfuscation level the *unmodified* original graph already
+// provides — quantifying how much of the anonymization burden comes from
+// assuming a maximally informed attacker.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "chameleon/anonymize/obfuscation.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Supplement: privacy vs adversary degree precision");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Supplement S2: exposed fraction of the RAW release vs "
+              "adversary precision",
+              config, datasets);
+
+  const int k = std::max(config.k_values.back(), 40);
+  std::printf("k = %d; 'exposed' = fraction of vertices below log2(k) "
+              "posterior entropy.\n\n",
+              k);
+  std::printf("%-16s | %12s %12s %12s %12s\n", "dataset", "exact",
+              "width 2", "width 4", "width 8");
+  for (const auto& d : datasets) {
+    std::printf("%-16s |", d.spec.name.c_str());
+    for (std::uint32_t width : {1u, 2u, 4u, 8u}) {
+      const auto knowledge =
+          anon::CoarsenedAdversaryDegrees(d.graph, width);
+      const auto report = anon::CheckObfuscation(d.graph, knowledge, k, width);
+      std::printf(" %11.2f%%", 100.0 * report.epsilon_hat);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nInherent k-obfuscation of the raw uncertain graphs "
+              "(largest k with exposed\nfraction <= the dataset tolerance; "
+              "the paper's observation that edge\nuncertainty itself "
+              "provides anonymity):\n");
+  std::printf("%-16s | %12s %12s %12s %12s\n", "dataset", "exact",
+              "width 2", "width 4", "width 8");
+  for (const auto& d : datasets) {
+    std::printf("%-16s |", d.spec.name.c_str());
+    for (std::uint32_t width : {1u, 2u, 4u, 8u}) {
+      const auto knowledge =
+          anon::CoarsenedAdversaryDegrees(d.graph, width);
+      int inherent = 1;
+      for (int probe = 2; probe <= 512; probe *= 2) {
+        const auto report =
+            anon::CheckObfuscation(d.graph, knowledge, probe, width);
+        if (report.epsilon_hat <= d.spec.epsilon) {
+          inherent = probe;
+        } else {
+          break;
+        }
+      }
+      std::printf(" %12d", inherent);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nReading: weaker (bucketed) adversaries expose strictly "
+              "fewer vertices, and\nthe raw uncertain graphs already "
+              "k-obfuscate for sizable k — the inherent\nanonymity the "
+              "Chameleon variants exploit and Rep-An throws away.\n");
+  return 0;
+}

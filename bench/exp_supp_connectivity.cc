@@ -1,0 +1,67 @@
+// Supplement S3: global connectivity shape. The reliability metric
+// aggregates pairwise connectivity; this driver reports the shape
+// statistics underneath it — expected component count, expected
+// largest-component fraction, and degree assortativity — for every method
+// and privacy level. Methods that shred reliability (Rep-An at its
+// ceiling) should visibly fragment the graph or distort its mixing
+// pattern.
+
+#include <cstdio>
+
+#include "chameleon/metrics/components.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Supplement: component structure & assortativity");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Supplement S3: connectivity shape (components / largest CC "
+              "/ assortativity)",
+              config, datasets);
+
+  const std::size_t worlds = std::max<std::size_t>(30, config.worlds / 10);
+
+  for (const auto& d : datasets) {
+    Rng rng(config.seed + 13);
+    const auto original_stats =
+        metrics::EstimateComponentStats(d.graph, worlds, rng);
+    const double original_assort =
+        metrics::ExpectedDegreeAssortativity(d.graph, worlds, rng);
+
+    std::printf("--- %s ---------------------------------------------\n",
+                d.spec.name.c_str());
+    std::printf("original: E[#components]=%.1f  E[largest CC]=%.3f  "
+                "assortativity=%.3f\n",
+                original_stats.expected_components,
+                original_stats.expected_largest_fraction, original_assort);
+    std::printf("%6s %-8s | %14s %14s %14s\n", "k", "method",
+                "E[#components]", "E[largest CC]", "assortativity");
+    for (int k : config.k_values) {
+      for (Method method : kAllMethods) {
+        auto published = RunMethod(d, method, k, config);
+        if (!published.ok()) {
+          std::printf("%6d %-8s | %14s\n", k, MethodName(method),
+                      "infeasible");
+          continue;
+        }
+        Rng mrng(config.seed + 13);
+        const auto stats =
+            metrics::EstimateComponentStats(*published, worlds, mrng);
+        const double assort =
+            metrics::ExpectedDegreeAssortativity(*published, worlds, mrng);
+        std::printf("%6d %-8s | %14.1f %14.3f %14.3f\n", k,
+                    MethodName(method), stats.expected_components,
+                    stats.expected_largest_fraction, assort);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: Chameleon outputs keep the component structure and "
+              "degree mixing of\nthe original; Rep-An at its feasibility "
+              "ceiling fragments the graph (its\nlargest component "
+              "shrinks and the component count jumps).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Downstream-workload experiment: k-nearest-neighbor preservation.
+//
+// Section III-B motivates the reliability metric with the mining tasks
+// built on probabilistic connectivity — locating k-nearest neighbors
+// (Potamias et al. [30]) chief among them. This driver runs the kNN query
+// (median-distance semantics) from a panel of source vertices on the
+// original graph and on each method's anonymized output, and reports the
+// mean Jaccard overlap of the returned neighbor sets.
+//
+// Expected shape: uncertainty-aware methods retain most of the kNN
+// structure; Rep-An loses much of it (its perturbed deterministic skeleton
+// rewires the local distance landscape).
+
+#include <cstdio>
+
+#include "chameleon/queries/knn.h"
+#include "exp_common.h"
+
+int main(int argc, char** argv) {
+  using namespace chameleon;
+  using namespace chameleon::bench;
+
+  const ExperimentConfig config = ParseExperimentFlags(
+      argc, argv, "Workload: kNN preservation (Potamias-style queries)");
+  const auto datasets = LoadDatasets(config);
+  PrintHeader("Workload: k-nearest-neighbor preservation (mean Jaccard "
+              "overlap, 12 sources)",
+              config, datasets);
+
+  constexpr std::size_t kSources = 12;
+  queries::KnnOptions knn;
+  knn.k = 10;
+  knn.num_worlds = 200;
+  knn.max_hops = 6;
+
+  for (const auto& d : datasets) {
+    // A fixed panel of query sources, skewed toward active vertices so the
+    // queries have non-trivial answers.
+    Rng source_rng(config.seed + 42);
+    std::vector<NodeId> sources;
+    while (sources.size() < kSources) {
+      const NodeId v = static_cast<NodeId>(
+          source_rng.NextBounded(d.graph.num_nodes()));
+      if (d.graph.ExpectedDegree(v) >= 2.0) sources.push_back(v);
+    }
+
+    // Reference kNN sets on the original graph.
+    std::vector<std::vector<queries::KnnResultEntry>> reference;
+    reference.reserve(kSources);
+    for (NodeId s : sources) {
+      Rng rng(config.seed + s);
+      reference.push_back(queries::KnnQuery(d.graph, s, knn, rng));
+    }
+
+    std::printf("--- %s ---------------------------------------------\n",
+                d.spec.name.c_str());
+    std::printf("%6s", "k");
+    for (Method method : kAllMethods) std::printf(" %12s", MethodName(method));
+    std::printf("\n");
+    for (int k : config.k_values) {
+      std::printf("%6d", k);
+      for (Method method : kAllMethods) {
+        auto published = RunMethod(d, method, k, config);
+        if (!published.ok()) {
+          std::printf(" %12s", "infeasible");
+          continue;
+        }
+        double overlap_total = 0.0;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          Rng rng(config.seed + sources[i]);
+          const auto result =
+              queries::KnnQuery(*published, sources[i], knn, rng);
+          overlap_total += queries::KnnOverlap(reference[i], result);
+        }
+        std::printf(" %12.3f", overlap_total / static_cast<double>(kSources));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: higher is better (1.0 = identical kNN answers). "
+              "The uncertainty-aware\nmethods keep the query answers usable; "
+              "Rep-An degrades them (Section III-B's\nmotivating "
+              "workload).\n");
+  return 0;
+}

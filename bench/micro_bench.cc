@@ -1,0 +1,215 @@
+// Google-benchmark micro-benchmarks for the library's hot paths: possible
+// world sampling, union-find connected pairs, the reused-sampling ERR
+// estimator, Poisson-binomial degree distributions, the (k,eps)-obf check,
+// truncated-normal noise draws, HyperLogLog and ANF.
+
+#include <benchmark/benchmark.h>
+
+#include "chameleon/anonymize/degree_distribution.h"
+#include "chameleon/anonymize/obfuscation.h"
+#include "chameleon/anonymize/uniqueness.h"
+#include "chameleon/graph/generators.h"
+#include "chameleon/graph/union_find.h"
+#include "chameleon/metrics/anf.h"
+#include "chameleon/metrics/clustering.h"
+#include "chameleon/metrics/hll.h"
+#include "chameleon/metrics/core.h"
+#include "chameleon/queries/knn.h"
+#include "chameleon/reliability/err.h"
+#include "chameleon/reliability/exact.h"
+#include "chameleon/reliability/world_cache.h"
+#include "chameleon/reliability/world_sampler.h"
+
+namespace chameleon {
+namespace {
+
+graph::UncertainGraph MakeBenchGraph(NodeId n, std::size_t m,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  const graph::Graph topology = graph::GenerateErdosRenyi(n, m, rng);
+  return graph::AssignUniformProbabilities(topology, 0.1, 0.9, rng);
+}
+
+void BM_SampleWorldMask(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                1);
+  rel::WorldSampler sampler(g);
+  Rng rng(2);
+  BitVector mask(g.num_edges());
+  for (auto _ : state) {
+    sampler.SampleMask(rng, mask);
+    benchmark::DoNotOptimize(mask.words().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SampleWorldMask)->Arg(1000)->Arg(10000);
+
+void BM_UnionFindConnectedPairs(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                3);
+  graph::UnionFind dsu(g.num_nodes());
+  for (auto _ : state) {
+    dsu.Reset(g.num_nodes());
+    for (const auto& e : g.edges()) dsu.Union(e.u, e.v);
+    benchmark::DoNotOptimize(dsu.CountConnectedPairs());
+  }
+}
+BENCHMARK(BM_UnionFindConnectedPairs)->Arg(1000)->Arg(10000);
+
+void BM_WorldCacheBuild(benchmark::State& state) {
+  const auto g = MakeBenchGraph(2000, 8000, 5);
+  const auto worlds = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    rel::WorldCache cache(g, worlds, rng);
+    benchmark::DoNotOptimize(cache.ExpectedConnectedPairs());
+  }
+}
+BENCHMARK(BM_WorldCacheBuild)->Arg(50)->Arg(200);
+
+void BM_EdgeRelevanceReused(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                9);
+  Rng rng(11);
+  const rel::WorldCache cache(g, 150, rng);
+  for (auto _ : state) {
+    Rng err_rng(13);
+    benchmark::DoNotOptimize(
+        rel::EstimateEdgeRelevance(cache, err_rng).data());
+  }
+}
+BENCHMARK(BM_EdgeRelevanceReused)->Arg(500)->Arg(2000);
+
+void BM_PoissonBinomialPmf(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> probs(static_cast<std::size_t>(state.range(0)));
+  for (double& p : probs) p = rng.NextDouble();
+  std::vector<double> pmf;
+  for (auto _ : state) {
+    anon::PoissonBinomialPmfInto(probs, probs.size(), pmf);
+    benchmark::DoNotOptimize(pmf.data());
+  }
+}
+BENCHMARK(BM_PoissonBinomialPmf)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AnonymityCheck(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                19);
+  const auto knowledge = anon::AdversaryDegrees(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        anon::CheckObfuscation(g, knowledge, 50).epsilon_hat);
+  }
+}
+BENCHMARK(BM_AnonymityCheck)->Arg(1000)->Arg(3000);
+
+void BM_UniquenessScores(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anon::GraphUniquenessScores(g).data());
+  }
+}
+BENCHMARK(BM_UniquenessScores)->Arg(1000)->Arg(10000);
+
+void BM_TruncatedNormal(benchmark::State& state) {
+  Rng rng(29);
+  const double sigma = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextTruncatedNormal(sigma));
+  }
+}
+BENCHMARK(BM_TruncatedNormal)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_HllAddEstimate(benchmark::State& state) {
+  metrics::HllSketch sketch(7);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    sketch.AddItem(i++);
+    if ((i & 1023) == 0) benchmark::DoNotOptimize(sketch.Estimate());
+  }
+}
+BENCHMARK(BM_HllAddEstimate);
+
+void BM_Anf(benchmark::State& state) {
+  Rng rng(31);
+  const auto g = graph::GenerateErdosRenyi(
+      static_cast<NodeId>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 3, rng);
+  metrics::AnfOptions options;
+  options.precision = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::ApproximateNeighbourhood(g, options).average_distance);
+  }
+}
+BENCHMARK(BM_Anf)->Arg(500)->Arg(2000);
+
+void BM_FactoringLadder(benchmark::State& state) {
+  // Reliability ladder: series/parallel reductions plus factoring.
+  const auto rungs = static_cast<NodeId>(state.range(0));
+  std::vector<graph::UncertainEdge> edges;
+  for (NodeId i = 0; i + 1 < rungs; ++i) {
+    edges.push_back({i, static_cast<NodeId>(i + 1), 0.9});
+    edges.push_back({static_cast<NodeId>(rungs + i),
+                     static_cast<NodeId>(rungs + i + 1), 0.9});
+  }
+  for (NodeId i = 0; i < rungs; ++i) {
+    edges.push_back({i, static_cast<NodeId>(rungs + i), 0.5});
+  }
+  const auto g = graph::UncertainGraph::FromEdgesUnchecked(
+      2 * rungs, std::move(edges));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rel::ExactPairReliabilityFactoring(g, 0, 2 * rungs - 1));
+  }
+}
+BENCHMARK(BM_FactoringLadder)->Arg(8)->Arg(12);
+
+void BM_KnnQuery(benchmark::State& state) {
+  const auto g = MakeBenchGraph(static_cast<NodeId>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                41);
+  queries::KnnOptions options;
+  options.k = 10;
+  options.num_worlds = 100;
+  options.max_hops = 5;
+  for (auto _ : state) {
+    Rng rng(43);
+    benchmark::DoNotOptimize(queries::KnnQuery(g, 0, options, rng).size());
+  }
+}
+BENCHMARK(BM_KnnQuery)->Arg(500)->Arg(2000);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  Rng rng(47);
+  const auto g = graph::GenerateErdosRenyi(
+      static_cast<NodeId>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::CoreDecomposition(g).data());
+  }
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(1000)->Arg(10000);
+
+void BM_TriangleCounting(benchmark::State& state) {
+  Rng rng(37);
+  const auto g = graph::GenerateErdosRenyi(
+      static_cast<NodeId>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::CountTriangles(g));
+  }
+}
+BENCHMARK(BM_TriangleCounting)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace chameleon
+
+BENCHMARK_MAIN();
