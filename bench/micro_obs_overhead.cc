@@ -1,0 +1,94 @@
+// Measures the cost of the dormant observability layer on the sampler
+// hot loop (ISSUE budget: < 2% with the sink unset). Three variants:
+//   raw        — hand-rolled Bernoulli loop, no library calls
+//   sampler    — WorldSampler::SampleMask with obs dormant (default)
+//   sampler_on — the same with the runtime switch forced on
+// Compare raw vs sampler for the compiled-in-but-disabled overhead, and
+// sampler vs sampler_on for the cost of live counting.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/reliability/world_sampler.h"
+#include "chameleon/util/bitvector.h"
+#include "chameleon/util/logging.h"
+#include "chameleon/util/rng.h"
+
+namespace {
+
+using chameleon::BitVector;
+using chameleon::NodeId;
+using chameleon::Rng;
+using chameleon::graph::UncertainGraph;
+using chameleon::graph::UncertainGraphBuilder;
+
+UncertainGraph MakeRing(NodeId n) {
+  UncertainGraphBuilder builder(n);
+  Rng rng(7);
+  for (NodeId u = 0; u < n; ++u) {
+    CH_CHECK(builder.AddEdge(u, (u + 1) % n, rng.UniformDouble()).ok());
+  }
+  auto g = std::move(builder).Build();
+  CH_CHECK(g.ok());
+  return *std::move(g);
+}
+
+void BM_RawBernoulliLoop(benchmark::State& state) {
+  const UncertainGraph g = MakeRing(static_cast<NodeId>(state.range(0)));
+  std::vector<double> probabilities;
+  probabilities.reserve(g.num_edges());
+  for (const auto& e : g.edges()) probabilities.push_back(e.p);
+  Rng rng(11);
+  BitVector mask(g.num_edges());
+  for (auto _ : state) {
+    mask.ClearAll();
+    std::size_t present = 0;
+    for (std::size_t e = 0; e < probabilities.size(); ++e) {
+      if (rng.UniformDouble() < probabilities[e]) {
+        mask.Set(e);
+        ++present;
+      }
+    }
+    benchmark::DoNotOptimize(present);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_RawBernoulliLoop)->Arg(1024)->Arg(65536);
+
+void BM_SamplerObsDormant(benchmark::State& state) {
+  const UncertainGraph g = MakeRing(static_cast<NodeId>(state.range(0)));
+  const chameleon::rel::WorldSampler sampler(g);
+  Rng rng(11);
+  BitVector mask(g.num_edges());
+  CH_CHECK(!chameleon::obs::Enabled());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleMask(rng, mask));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SamplerObsDormant)->Arg(1024)->Arg(65536);
+
+void BM_SamplerObsEnabled(benchmark::State& state) {
+  const UncertainGraph g = MakeRing(static_cast<NodeId>(state.range(0)));
+  const chameleon::rel::WorldSampler sampler(g);
+  Rng rng(11);
+  BitVector mask(g.num_edges());
+  chameleon::obs::SetEnabledForTesting(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleMask(rng, mask));
+  }
+  chameleon::obs::SetEnabledForTesting(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SamplerObsEnabled)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#ifndef CHAMELEON_GRAPH_EDGE_H_
+#define CHAMELEON_GRAPH_EDGE_H_
+
+#include "chameleon/util/common.h"
+
+/// \file edge.h
+/// The fundamental uncertain-graph element: an undirected edge with an
+/// independent existence probability (paper Section II).
+
+namespace chameleon::graph {
+
+struct UncertainEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  /// Existence probability in [0, 1].
+  double p = 0.0;
+
+  friend bool operator==(const UncertainEdge& a, const UncertainEdge& b) {
+    return a.u == b.u && a.v == b.v && a.p == b.p;
+  }
+};
+
+}  // namespace chameleon::graph
+
+#endif  // CHAMELEON_GRAPH_EDGE_H_

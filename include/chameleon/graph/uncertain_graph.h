@@ -1,0 +1,86 @@
+#ifndef CHAMELEON_GRAPH_UNCERTAIN_GRAPH_H_
+#define CHAMELEON_GRAPH_UNCERTAIN_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "chameleon/graph/edge.h"
+#include "chameleon/util/common.h"
+#include "chameleon/util/status.h"
+
+/// \file uncertain_graph.h
+/// Immutable uncertain-graph container `G = (V, E, p)` with CSR adjacency.
+/// Construction goes through UncertainGraphBuilder, which validates the
+/// paper's graph model: undirected, no self-loops, no multi-edges,
+/// probabilities in [0, 1].
+
+namespace chameleon::graph {
+
+/// CSR adjacency entry: the neighbor plus the index of the connecting
+/// edge in edges() (so per-edge data like probabilities needs no lookup).
+struct AdjEntry {
+  NodeId neighbor = 0;
+  EdgeId edge = 0;
+};
+
+class UncertainGraph {
+ public:
+  UncertainGraph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const std::vector<UncertainEdge>& edges() const { return edges_; }
+  const UncertainEdge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Neighbors of `v` (both endpoints see the edge).
+  std::span<const AdjEntry> Neighbors(NodeId v) const {
+    return {adjacency_.data() + adj_offsets_[v],
+            adj_offsets_[v + 1] - adj_offsets_[v]};
+  }
+
+  /// Expected degree E[deg v] = sum of incident edge probabilities.
+  double expected_degree(NodeId v) const { return expected_degrees_[v]; }
+  const std::vector<double>& expected_degrees() const {
+    return expected_degrees_;
+  }
+
+  /// Mean edge probability (Table I's "mean p"); 0 for the empty graph.
+  double mean_probability() const;
+
+  /// Sum over edges of p (expected number of edges).
+  double expected_num_edges() const;
+
+ private:
+  friend class UncertainGraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  std::vector<UncertainEdge> edges_;
+  std::vector<std::size_t> adj_offsets_;
+  std::vector<AdjEntry> adjacency_;
+  std::vector<double> expected_degrees_;
+};
+
+class UncertainGraphBuilder {
+ public:
+  explicit UncertainGraphBuilder(NodeId num_nodes);
+
+  /// Queues an undirected edge {u, v} with probability p. Validation
+  /// errors (bad endpoints, self-loop, p outside [0, 1]) surface here;
+  /// duplicate detection happens in Build().
+  Status AddEdge(NodeId u, NodeId v, double p);
+
+  std::size_t num_queued_edges() const { return edges_.size(); }
+
+  /// Validates (no multi-edges), canonicalizes (u < v, edges sorted),
+  /// builds CSR adjacency and expected degrees. The builder is consumed.
+  Result<UncertainGraph> Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<UncertainEdge> edges_;
+};
+
+}  // namespace chameleon::graph
+
+#endif  // CHAMELEON_GRAPH_UNCERTAIN_GRAPH_H_

@@ -1,0 +1,82 @@
+#ifndef CHAMELEON_GRAPH_UNION_FIND_H_
+#define CHAMELEON_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "chameleon/util/common.h"
+
+/// \file union_find.h
+/// Disjoint-set forest with union by size and path halving. The Monte
+/// Carlo reliability loops build one per sampled world, so Reset() reuses
+/// the allocation instead of reconstructing.
+
+namespace chameleon::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n), size_(n, 1), num_components_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  /// Back to n singleton components without reallocating.
+  void Reset() {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+    size_.assign(size_.size(), 1);
+    num_components_ = static_cast<NodeId>(parent_.size());
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b; returns true when they were
+  /// previously separate.
+  bool Union(NodeId a, NodeId b) {
+    NodeId ra = Find(a);
+    NodeId rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) {
+      const NodeId tmp = ra;
+      ra = rb;
+      rb = tmp;
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_components_;
+    return true;
+  }
+
+  bool Connected(NodeId a, NodeId b) { return Find(a) == Find(b); }
+
+  NodeId num_components() const { return num_components_; }
+
+  /// Size of the component containing v.
+  NodeId ComponentSize(NodeId v) { return size_[Find(v)]; }
+
+  /// Number of connected node pairs: sum over components of C(size, 2).
+  std::uint64_t ConnectedPairs() {
+    std::uint64_t total = 0;
+    for (NodeId v = 0; v < parent_.size(); ++v) {
+      if (Find(v) == v) {
+        const std::uint64_t s = size_[v];
+        total += s * (s - 1) / 2;
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+  NodeId num_components_;
+};
+
+}  // namespace chameleon::graph
+
+#endif  // CHAMELEON_GRAPH_UNION_FIND_H_

@@ -1,0 +1,92 @@
+#ifndef CHAMELEON_OBS_TRACE_H_
+#define CHAMELEON_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "chameleon/obs/metrics.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/common.h"
+
+/// \file trace.h
+/// Hierarchical phase tracing. A TraceSpan is an RAII scope whose path is
+/// built from the enclosing spans on the same thread, e.g.
+/// `anonymize/genobf/trial[3]/sample_worlds`. On close a span emits one
+/// JSONL "span" record to the tracer's sink and records its duration into
+/// the metrics histogram `span/<path-without-[indices]>`, so per-phase
+/// latency distributions aggregate across loop iterations while the trace
+/// keeps the individual iterations apart.
+
+namespace chameleon::obs {
+
+/// Removes every `[...]` segment: "genobf/trial[3]/sample" ->
+/// "genobf/trial/sample". Used to keep metric-name cardinality static.
+std::string StripPathIndices(std::string_view path);
+
+class Tracer {
+ public:
+  /// Neither pointer is owned; both may outlive every span. `sink` may be
+  /// null (spans then only feed the metrics registry).
+  Tracer(RecordSink* sink, MetricsRegistry* metrics)
+      : sink_(sink), metrics_(metrics) {}
+  CHAMELEON_DISALLOW_COPY_AND_ASSIGN(Tracer);
+
+  /// Path of the innermost open span of this tracer on the calling
+  /// thread, or "" when none is open.
+  std::string CurrentPath() const;
+
+  RecordSink* sink() const { return sink_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  RecordSink* sink_;
+  MetricsRegistry* metrics_;
+};
+
+class TraceSpan {
+ public:
+  /// Opens a span on the process-global tracer. Inactive (near-zero cost)
+  /// when observability is disabled.
+  explicit TraceSpan(std::string_view name);
+
+  /// Opens a span on an explicit tracer (tests, embedded use). Pass
+  /// nullptr for an inactive span.
+  TraceSpan(std::string_view name, Tracer* tracer);
+
+  ~TraceSpan();
+  CHAMELEON_DISALLOW_COPY_AND_ASSIGN(TraceSpan);
+
+  bool active() const { return tracer_ != nullptr; }
+  const std::string& path() const { return path_; }
+  std::uint64_t ElapsedNanos() const {
+    return active() ? MonotonicNanos() - start_nanos_ : 0;
+  }
+
+  /// Attaches a counter to this span's record (merged by key). Span
+  /// counters annotate the trace; they are not forwarded to the registry.
+  void AddCount(std::string_view key, std::uint64_t delta = 1);
+
+ private:
+  void Open(std::string_view name, Tracer* tracer);
+
+  Tracer* tracer_ = nullptr;
+  std::string path_;
+  std::uint64_t start_nanos_ = 0;
+  std::uint64_t start_wall_millis_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+};
+
+/// Drop-in stand-in emitted by the CHOBS_SPAN macro when instrumentation
+/// is compiled out.
+struct NullSpan {
+  void AddCount(std::string_view, std::uint64_t = 1) {}
+  bool active() const { return false; }
+  std::uint64_t ElapsedNanos() const { return 0; }
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_TRACE_H_

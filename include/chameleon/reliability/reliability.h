@@ -1,0 +1,60 @@
+#ifndef CHAMELEON_RELIABILITY_RELIABILITY_H_
+#define CHAMELEON_RELIABILITY_RELIABILITY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/status.h"
+
+/// \file reliability.h
+/// Monte Carlo reliability estimation (paper Definitions 1-2): the
+/// probability that two terminals are connected in a sampled possible
+/// world, and the expected number of connected node pairs — the quantity
+/// whose sensitivity to edge probabilities defines ERR (Definition 5).
+/// Every estimator samples `options.worlds` possible worlds and runs
+/// union-find per world; phase structure and per-world counters are
+/// emitted through chameleon/obs.
+
+namespace chameleon::rel {
+
+struct MonteCarloOptions {
+  /// Possible worlds per estimate (paper default: 1000).
+  std::size_t worlds = 1000;
+  /// Emit a throttled progress heartbeat for the world loop.
+  bool heartbeat = true;
+};
+
+/// P[s ~ t]: fraction of sampled worlds where s and t are connected.
+/// InvalidArgument when a terminal is out of range or worlds == 0.
+Result<double> TwoTerminalReliability(const graph::UncertainGraph& graph,
+                                      NodeId source, NodeId target,
+                                      const MonteCarloOptions& options,
+                                      Rng& rng);
+
+/// Reliability of many pairs from a shared world sample (the reused-
+/// sampling idea of Algorithm 2: all pairs are evaluated against the
+/// same N worlds, so cost is N world-samples, not N * pairs).
+Result<std::vector<double>> PairSetReliability(
+    const graph::UncertainGraph& graph,
+    const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    const MonteCarloOptions& options, Rng& rng);
+
+struct ConnectedPairsEstimate {
+  /// Mean over worlds of the number of connected pairs.
+  double expected_pairs = 0.0;
+  /// Sample standard deviation across worlds.
+  double stddev = 0.0;
+  std::size_t worlds = 0;
+};
+
+/// E[#connected pairs] — the paper's R(G) (Definition 5 context).
+Result<ConnectedPairsEstimate> ExpectedConnectedPairs(
+    const graph::UncertainGraph& graph, const MonteCarloOptions& options,
+    Rng& rng);
+
+}  // namespace chameleon::rel
+
+#endif  // CHAMELEON_RELIABILITY_RELIABILITY_H_

@@ -1,0 +1,38 @@
+#ifndef CHAMELEON_RELIABILITY_WORLD_SAMPLER_H_
+#define CHAMELEON_RELIABILITY_WORLD_SAMPLER_H_
+
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/bitvector.h"
+#include "chameleon/util/rng.h"
+
+/// \file world_sampler.h
+/// Possible-world sampling under possible-world semantics: each edge is
+/// included independently with its probability (paper Section II). This
+/// is the innermost loop of every Monte Carlo estimate, so the sampler
+/// keeps probabilities in a flat array and its instrumentation is
+/// per-world, never per-edge.
+
+namespace chameleon::rel {
+
+class WorldSampler {
+ public:
+  explicit WorldSampler(const graph::UncertainGraph& graph);
+
+  std::size_t num_edges() const { return probabilities_.size(); }
+
+  /// Samples one world into `mask` (bit e = edge e exists). `mask` must
+  /// be sized to num_edges(). Returns the number of edges present.
+  std::size_t SampleMask(Rng& rng, BitVector& mask) const;
+
+  const graph::UncertainGraph& graph() const { return *graph_; }
+
+ private:
+  const graph::UncertainGraph* graph_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace chameleon::rel
+
+#endif  // CHAMELEON_RELIABILITY_WORLD_SAMPLER_H_

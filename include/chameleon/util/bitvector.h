@@ -1,0 +1,67 @@
+#ifndef CHAMELEON_UTIL_BITVECTOR_H_
+#define CHAMELEON_UTIL_BITVECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file bitvector.h
+/// Dense bit vector used for possible-world edge masks. One cache line
+/// holds 512 edges, so a sampled world of a million-edge graph is ~122 KiB
+/// and world-vs-world operations are word-parallel.
+
+namespace chameleon {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  void Resize(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  bool Get(std::size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+
+  void Set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  void Clear(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  void ClearAll() { words_.assign(words_.size(), 0); }
+
+  std::size_t CountOnes() const {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_BITVECTOR_H_

@@ -1,0 +1,28 @@
+#ifndef CHAMELEON_UTIL_COMMON_H_
+#define CHAMELEON_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file common.h
+/// Project-wide fundamental types. Kept deliberately tiny: every module
+/// includes this header.
+
+namespace chameleon {
+
+/// Vertex identifier. Graphs in the paper's evaluation stay well below
+/// 2^32 nodes; 32-bit ids halve adjacency memory.
+using NodeId = std::uint32_t;
+
+/// Index of an edge in an UncertainGraph's edge array.
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace chameleon
+
+#define CHAMELEON_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;                \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // CHAMELEON_UTIL_COMMON_H_

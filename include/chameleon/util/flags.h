@@ -1,0 +1,72 @@
+#ifndef CHAMELEON_UTIL_FLAGS_H_
+#define CHAMELEON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "chameleon/util/status.h"
+
+/// \file flags.h
+/// A tiny command-line flag parser for the tools and experiment drivers.
+/// Flags are registered with defaults, then Parse() consumes
+/// `--name=value` / `--name value` arguments (and `--bool_flag` /
+/// `--nobool_flag` shorthands). Unknown flags are an error so typos never
+/// silently fall back to defaults.
+
+namespace chameleon {
+
+class FlagSet {
+ public:
+  /// `summary` is the one-line program description shown by Usage().
+  explicit FlagSet(std::string summary);
+
+  void AddBool(std::string_view name, bool default_value,
+               std::string_view help);
+  void AddInt64(std::string_view name, std::int64_t default_value,
+                std::string_view help);
+  void AddDouble(std::string_view name, double default_value,
+                 std::string_view help);
+  void AddString(std::string_view name, std::string_view default_value,
+                 std::string_view help);
+
+  /// Parses `argv[0..argc)`. Every argument must be a registered flag;
+  /// positional arguments are collected into positional().
+  Status Parse(int argc, char** argv);
+
+  bool GetBool(std::string_view name) const;
+  std::int64_t GetInt64(std::string_view name) const;
+  double GetDouble(std::string_view name) const;
+  const std::string& GetString(std::string_view name) const;
+
+  /// True when the flag was explicitly set on the command line.
+  bool WasSet(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted flag table: name, type, default, help.
+  std::string Usage() const;
+
+ private:
+  using Value = std::variant<bool, std::int64_t, double, std::string>;
+  struct Flag {
+    Value value;
+    Value default_value;
+    std::string help;
+    bool set = false;
+  };
+
+  const Flag* FindOrDie(std::string_view name) const;
+  Status SetFromText(const std::string& name, std::string_view text);
+
+  std::string summary_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_FLAGS_H_

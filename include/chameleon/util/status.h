@@ -1,0 +1,134 @@
+#ifndef CHAMELEON_UTIL_STATUS_H_
+#define CHAMELEON_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Arrow-style error model: library code never throws; fallible operations
+/// return `Status` or `Result<T>`.
+
+namespace chameleon {
+
+/// Canonical error categories (subset of the absl/gRPC canon that the
+/// library actually needs).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a (non-OK) error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from an OK Status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error; Status::OK() when the Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace chameleon
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CHAMELEON_RETURN_IF_ERROR(expr)                 \
+  do {                                                  \
+    if (::chameleon::Status _st = (expr); !_st.ok()) {  \
+      return _st;                                       \
+    }                                                   \
+  } while (0)
+
+#endif  // CHAMELEON_UTIL_STATUS_H_

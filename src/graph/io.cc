@@ -1,0 +1,103 @@
+#include "chameleon/graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::graph {
+
+Result<UncertainGraph> ParseEdgeList(std::istream& in,
+                                     std::string_view origin) {
+  CHOBS_SPAN(span, "graph/io/parse_edge_list");
+  std::vector<UncertainEdge> edges;
+  NodeId declared_nodes = 0;
+  bool has_declared_nodes = false;
+  NodeId max_node = 0;
+  std::string line;
+  std::size_t line_number = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty()) continue;
+    if (text.front() == '#') {
+      // Optional "# nodes <n>" header.
+      const std::vector<std::string> tokens = SplitTokens(text, "# \t");
+      if (tokens.size() == 2 && tokens[0] == "nodes") {
+        const Result<std::int64_t> n = ParseInt(tokens[1]);
+        if (n.ok() && *n >= 0) {
+          declared_nodes = static_cast<NodeId>(*n);
+          has_declared_nodes = true;
+        }
+      }
+      continue;
+    }
+    const std::vector<std::string> fields = SplitTokens(text, " \t");
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%.*s:%zu: expected 'u v p', got '%s'",
+                    static_cast<int>(origin.size()), origin.data(),
+                    line_number, std::string(text).c_str()));
+    }
+    const Result<std::int64_t> u = ParseInt(fields[0]);
+    const Result<std::int64_t> v = ParseInt(fields[1]);
+    const Result<double> p = ParseDouble(fields[2]);
+    if (!u.ok() || !v.ok() || !p.ok() || *u < 0 || *v < 0) {
+      return Status::InvalidArgument(
+          StrFormat("%.*s:%zu: malformed edge line '%s'",
+                    static_cast<int>(origin.size()), origin.data(),
+                    line_number, std::string(text).c_str()));
+    }
+    const auto nu = static_cast<NodeId>(*u);
+    const auto nv = static_cast<NodeId>(*v);
+    max_node = std::max({max_node, nu, nv});
+    edges.push_back(UncertainEdge{nu, nv, *p});
+  }
+
+  const NodeId num_nodes =
+      has_declared_nodes ? declared_nodes
+                         : (edges.empty() ? 0 : max_node + 1);
+  UncertainGraphBuilder builder(num_nodes);
+  for (const UncertainEdge& e : edges) {
+    if (Status s = builder.AddEdge(e.u, e.v, e.p); !s.ok()) {
+      return Status(s.code(), std::string(origin) + ": " + s.message());
+    }
+  }
+  Result<UncertainGraph> graph = std::move(builder).Build();
+  if (graph.ok()) {
+    span.AddCount("lines", line_number);
+    span.AddCount("edges", graph->num_edges());
+    CHOBS_COUNT("graph/io/edges_read", graph->num_edges());
+  }
+  return graph;
+}
+
+Result<UncertainGraph> ReadEdgeList(const std::string& path) {
+  CHOBS_SPAN(span, "graph/io/read_edge_list");
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CHOBS_COUNT("graph/io/files_read", 1);
+  return ParseEdgeList(in, path);
+}
+
+Status WriteEdgeList(const UncertainGraph& graph, const std::string& path) {
+  CHOBS_SPAN(span, "graph/io/write_edge_list");
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# chameleon uncertain graph\n";
+  out << "# nodes " << graph.num_nodes() << "\n";
+  for (const UncertainEdge& e : graph.edges()) {
+    out << e.u << ' ' << e.v << ' ' << StrFormat("%.10g", e.p) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  span.AddCount("edges", graph.num_edges());
+  CHOBS_COUNT("graph/io/edges_written", graph.num_edges());
+  return Status::OK();
+}
+
+}  // namespace chameleon::graph

@@ -1,0 +1,88 @@
+#include "chameleon/graph/uncertain_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::graph {
+
+double UncertainGraph::mean_probability() const {
+  if (edges_.empty()) return 0.0;
+  return expected_num_edges() / static_cast<double>(edges_.size());
+}
+
+double UncertainGraph::expected_num_edges() const {
+  double total = 0.0;
+  for (const UncertainEdge& e : edges_) total += e.p;
+  return total;
+}
+
+UncertainGraphBuilder::UncertainGraphBuilder(NodeId num_nodes)
+    : num_nodes_(num_nodes) {}
+
+Status UncertainGraphBuilder::AddEdge(NodeId u, NodeId v, double p) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u, %u) out of range for %u nodes", u, v,
+                  num_nodes_));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  if (!(p >= 0.0 && p <= 1.0) || std::isnan(p)) {
+    return Status::InvalidArgument(
+        StrFormat("probability %g for edge (%u, %u) outside [0, 1]", p, u, v));
+  }
+  if (u > v) std::swap(u, v);
+  edges_.push_back(UncertainEdge{u, v, p});
+  return Status::OK();
+}
+
+Result<UncertainGraph> UncertainGraphBuilder::Build() && {
+  CHOBS_SPAN(span, "graph/build");
+  std::sort(edges_.begin(), edges_.end(),
+            [](const UncertainEdge& a, const UncertainEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i].u == edges_[i - 1].u && edges_[i].v == edges_[i - 1].v) {
+      return Status::InvalidArgument(StrFormat(
+          "multi-edge (%u, %u)", edges_[i].u, edges_[i].v));
+    }
+  }
+
+  UncertainGraph g;
+  g.num_nodes_ = num_nodes_;
+  g.edges_ = std::move(edges_);
+
+  // CSR in two passes: degree counting, then placement.
+  std::vector<std::size_t> degree(num_nodes_ + 1, 0);
+  for (const UncertainEdge& e : g.edges_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.adj_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.adj_offsets_[v + 1] = g.adj_offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(g.adj_offsets_[num_nodes_]);
+  std::vector<std::size_t> cursor(g.adj_offsets_.begin(),
+                                  g.adj_offsets_.end() - 1);
+  g.expected_degrees_.assign(num_nodes_, 0.0);
+  for (EdgeId i = 0; i < g.edges_.size(); ++i) {
+    const UncertainEdge& e = g.edges_[i];
+    g.adjacency_[cursor[e.u]++] = AdjEntry{e.v, i};
+    g.adjacency_[cursor[e.v]++] = AdjEntry{e.u, i};
+    g.expected_degrees_[e.u] += e.p;
+    g.expected_degrees_[e.v] += e.p;
+  }
+
+  span.AddCount("nodes", num_nodes_);
+  span.AddCount("edges", g.edges_.size());
+  CHOBS_COUNT("graph/builds", 1);
+  return g;
+}
+
+}  // namespace chameleon::graph

@@ -1,0 +1,129 @@
+#include "chameleon/obs/obs.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "chameleon/util/logging.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_heartbeat_interval_nanos{500'000'000};
+
+std::mutex g_lifecycle_mu;
+// Sink and tracer survive Shutdown/re-Init for the process lifetime:
+// spans opened before a re-Init may still hold pointers to them. Retired
+// instances are parked here (never freed, but reachable — not a leak).
+RecordSink* g_sink = nullptr;
+Tracer* g_tracer = nullptr;
+std::uint64_t g_run_start_nanos = 0;
+
+struct RetiredRuns {
+  std::vector<std::unique_ptr<RecordSink>> sinks;
+  std::vector<std::unique_ptr<Tracer>> tracers;
+};
+
+RetiredRuns& Retired() {
+  static RetiredRuns* retired = new RetiredRuns();
+  return *retired;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabledForTesting(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& GlobalMetrics() { return MetricsRegistry::Global(); }
+
+Tracer* GlobalTracer() {
+  const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  return g_tracer;
+}
+
+RecordSink* GlobalSink() {
+  const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  return g_sink;
+}
+
+std::uint64_t HeartbeatIntervalNanos() {
+  return g_heartbeat_interval_nanos.load(std::memory_order_relaxed);
+}
+
+Status InitObservability(const ObsOptions& options) {
+  ShutdownObservability();
+
+  std::string path = options.metrics_out;
+  if (path.empty() && options.read_env) {
+    if (const char* env = std::getenv("CHAMELEON_METRICS"); env != nullptr) {
+      path = env;
+    }
+  }
+  if (path.empty()) return Status::OK();  // stays disabled
+
+  Result<std::unique_ptr<JsonlFileSink>> sink = JsonlFileSink::Open(path);
+  if (!sink.ok()) return sink.status();
+
+  {
+    const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+    RetiredRuns& retired = Retired();
+    retired.sinks.push_back(*std::move(sink));
+    g_sink = retired.sinks.back().get();
+    retired.tracers.push_back(
+        std::make_unique<Tracer>(g_sink, &GlobalMetrics()));
+    g_tracer = retired.tracers.back().get();
+    g_run_start_nanos = MonotonicNanos();
+  }
+  g_heartbeat_interval_nanos.store(options.heartbeat_interval_nanos,
+                                   std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+  CH_LOG(Info) << "observability enabled, metrics sink: " << path;
+  return Status::OK();
+}
+
+void ShutdownObservability() {
+  if (!Enabled()) return;
+  g_enabled.store(false, std::memory_order_release);
+
+  RecordSink* sink;
+  std::uint64_t run_start;
+  {
+    const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+    sink = g_sink;
+    run_start = g_run_start_nanos;
+  }
+  if (sink == nullptr) return;
+
+  const double wall_ms =
+      static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
+  const MetricsSnapshot snapshot = GlobalMetrics().TakeSnapshot();
+  sink->Write(StrFormat(
+      "{\"type\":\"run_summary\",\"t_ms\":%llu,\"wall_ms\":%.3f,"
+      "\"metrics\":%s}",
+      static_cast<unsigned long long>(WallUnixMillis()), wall_ms,
+      snapshot.ToJson().c_str()));
+  sink->Flush();
+}
+
+void EmitSnapshot(std::string_view label) {
+  if (!Enabled()) return;
+  RecordSink* sink = GlobalSink();
+  if (sink == nullptr) return;
+  const MetricsSnapshot snapshot = GlobalMetrics().TakeSnapshot();
+  sink->Write(StrFormat(
+      "{\"type\":\"snapshot\",\"label\":\"%s\",\"t_ms\":%llu,\"metrics\":%s}",
+      JsonEscape(label).c_str(),
+      static_cast<unsigned long long>(WallUnixMillis()),
+      snapshot.ToJson().c_str()));
+}
+
+}  // namespace chameleon::obs

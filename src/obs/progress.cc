@@ -1,0 +1,105 @@
+#include "chameleon/obs/progress.h"
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/logging.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+
+ProgressHeartbeat::ProgressHeartbeat(std::string_view label,
+                                     std::uint64_t total_units)
+    : ProgressHeartbeat(label, total_units, Options()) {}
+
+ProgressHeartbeat::ProgressHeartbeat(std::string_view label,
+                                     std::uint64_t total_units,
+                                     Options options)
+    : label_(label),
+      total_units_(total_units),
+      options_(options),
+      start_nanos_(MonotonicNanos()) {
+  if (options_.sink == nullptr && options_.use_global_sink && Enabled()) {
+    options_.sink = GlobalSink();
+  }
+  // Inert unless something consumes the reports. Logging is tied to the
+  // global enable switch so an uninstrumented run stays silent.
+  const bool logs = options_.log && (Enabled() || options_.sink != nullptr);
+  active_ = logs || options_.sink != nullptr;
+}
+
+ProgressHeartbeat::~ProgressHeartbeat() { Finish(); }
+
+void ProgressHeartbeat::Tick(std::uint64_t done_units, std::uint64_t accepted,
+                             std::uint64_t attempted) {
+  if (!active_) return;
+  done_units_ = done_units;
+  accepted_ = accepted;
+  attempted_ = attempted;
+  const std::uint64_t now = MonotonicNanos();
+  if (now - last_emit_nanos_ < options_.min_interval_nanos) return;
+  last_emit_nanos_ = now;
+  Emit(/*final=*/false);
+}
+
+void ProgressHeartbeat::Finish() {
+  if (!active_ || finished_) return;
+  finished_ = true;
+  Emit(/*final=*/true);
+}
+
+void ProgressHeartbeat::Emit(bool final) {
+  ++emit_count_;
+  const double elapsed_s =
+      static_cast<double>(MonotonicNanos() - start_nanos_) * 1e-9;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(done_units_) / elapsed_s : 0.0;
+  const double eta_s =
+      (total_units_ > done_units_ && rate > 0.0)
+          ? static_cast<double>(total_units_ - done_units_) / rate
+          : 0.0;
+  const bool has_accept = attempted_ > 0;
+  const double accept_rate =
+      has_accept
+          ? static_cast<double>(accepted_) / static_cast<double>(attempted_)
+          : 0.0;
+
+  if (options_.log) {
+    std::string text;
+    if (total_units_ > 0) {
+      text = StrFormat(
+          "[%s] %llu/%llu (%.1f%%), %.0f/s, ETA %.1fs", label_.c_str(),
+          static_cast<unsigned long long>(done_units_),
+          static_cast<unsigned long long>(total_units_),
+          100.0 * static_cast<double>(done_units_) /
+              static_cast<double>(total_units_),
+          rate, eta_s);
+    } else {
+      text = StrFormat("[%s] %llu done, %.0f/s", label_.c_str(),
+                       static_cast<unsigned long long>(done_units_), rate);
+    }
+    if (has_accept) text += StrFormat(", accept %.1f%%", 100.0 * accept_rate);
+    if (final) text += StrFormat(", finished in %.2fs", elapsed_s);
+    CH_LOG(Info) << text;
+  }
+
+  if (options_.sink != nullptr) {
+    std::string line = StrFormat(
+        "{\"type\":\"progress\",\"label\":\"%s\",\"t_ms\":%llu,"
+        "\"done\":%llu,\"total\":%llu,\"rate_per_s\":%.1f,\"eta_s\":%.2f",
+        JsonEscape(label_).c_str(),
+        static_cast<unsigned long long>(WallUnixMillis()),
+        static_cast<unsigned long long>(done_units_),
+        static_cast<unsigned long long>(total_units_), rate, eta_s);
+    if (has_accept) {
+      line += StrFormat(
+          ",\"accepted\":%llu,\"attempted\":%llu,\"accept_rate\":%.4f",
+          static_cast<unsigned long long>(accepted_),
+          static_cast<unsigned long long>(attempted_), accept_rate);
+    }
+    if (final) line += ",\"final\":true";
+    line += '}';
+    options_.sink->Write(line);
+  }
+}
+
+}  // namespace chameleon::obs

@@ -1,0 +1,122 @@
+#include "chameleon/obs/trace.h"
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/logging.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::obs {
+namespace {
+
+/// Active spans on this thread, innermost last. Spans of different
+/// tracers may interleave (tests); each entry remembers its tracer so
+/// path building only follows the matching ancestry.
+struct StackEntry {
+  const Tracer* tracer;
+  const TraceSpan* span;
+};
+
+thread_local std::vector<StackEntry> tls_span_stack;
+
+const TraceSpan* InnermostFor(const Tracer* tracer) {
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (it->tracer == tracer) return it->span;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string StripPathIndices(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  int depth = 0;
+  for (const char c : path) {
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      if (depth > 0) --depth;
+    } else if (depth == 0) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Tracer::CurrentPath() const {
+  const TraceSpan* span = InnermostFor(this);
+  return span != nullptr ? span->path() : std::string();
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  Tracer* tracer = Enabled() ? GlobalTracer() : nullptr;
+  if (tracer != nullptr) Open(name, tracer);
+}
+
+TraceSpan::TraceSpan(std::string_view name, Tracer* tracer) {
+  if (tracer != nullptr) Open(name, tracer);
+}
+
+void TraceSpan::Open(std::string_view name, Tracer* tracer) {
+  tracer_ = tracer;
+  const TraceSpan* parent = InnermostFor(tracer);
+  if (parent != nullptr) {
+    path_.reserve(parent->path().size() + 1 + name.size());
+    path_ = parent->path();
+    path_ += '/';
+  }
+  path_ += name;
+  start_nanos_ = MonotonicNanos();
+  start_wall_millis_ = WallUnixMillis();
+  tls_span_stack.push_back(StackEntry{tracer_, this});
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active()) return;
+  const std::uint64_t duration = MonotonicNanos() - start_nanos_;
+
+  // Scoped lifetimes make span closure LIFO per thread; find-and-erase
+  // from the back tolerates out-of-order destruction anyway.
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (it->span == this) {
+      tls_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+
+  if (tracer_->metrics() != nullptr) {
+    tracer_->metrics()->Observe("span/" + StripPathIndices(path_), duration);
+  }
+  if (tracer_->sink() != nullptr) {
+    std::string line = StrFormat(
+        "{\"type\":\"span\",\"path\":\"%s\",\"t_ms\":%llu,\"dur_ns\":%llu",
+        JsonEscape(path_).c_str(),
+        static_cast<unsigned long long>(start_wall_millis_),
+        static_cast<unsigned long long>(duration));
+    if (!counters_.empty()) {
+      line += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [key, value] : counters_) {
+        if (!first) line += ',';
+        first = false;
+        line += StrFormat("\"%s\":%llu", JsonEscape(key).c_str(),
+                          static_cast<unsigned long long>(value));
+      }
+      line += '}';
+    }
+    line += '}';
+    tracer_->sink()->Write(line);
+  }
+}
+
+void TraceSpan::AddCount(std::string_view key, std::uint64_t delta) {
+  if (!active()) return;
+  for (auto& [existing, value] : counters_) {
+    if (existing == key) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(key), delta);
+}
+
+}  // namespace chameleon::obs

@@ -1,0 +1,171 @@
+#include "chameleon/reliability/reliability.h"
+
+#include <cmath>
+
+#include "chameleon/graph/union_find.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/reliability/world_sampler.h"
+#include "chameleon/util/stats.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::rel {
+namespace {
+
+Status ValidateTerminals(const graph::UncertainGraph& graph, NodeId source,
+                         NodeId target) {
+  if (source >= graph.num_nodes() || target >= graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("terminal pair (%u, %u) out of range for %u nodes", source,
+                  target, graph.num_nodes()));
+  }
+  return Status::OK();
+}
+
+Status ValidateOptions(const MonteCarloOptions& options) {
+  if (options.worlds == 0) {
+    return Status::InvalidArgument("worlds must be positive");
+  }
+  return Status::OK();
+}
+
+/// Applies a sampled world mask to the union-find structure.
+void UniteWorld(const graph::UncertainGraph& graph, const BitVector& mask,
+                graph::UnionFind& dsu) {
+  dsu.Reset();
+  const auto& edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (mask.Get(e)) dsu.Union(edges[e].u, edges[e].v);
+  }
+}
+
+}  // namespace
+
+Result<double> TwoTerminalReliability(const graph::UncertainGraph& graph,
+                                      NodeId source, NodeId target,
+                                      const MonteCarloOptions& options,
+                                      Rng& rng) {
+  CHAMELEON_RETURN_IF_ERROR(ValidateTerminals(graph, source, target));
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(options));
+
+  CHOBS_SPAN(span, "reliability/two_terminal");
+  const WorldSampler sampler(graph);
+  graph::UnionFind dsu(graph.num_nodes());
+  BitVector mask(graph.num_edges());
+  obs::ProgressHeartbeat progress(
+      "reliability/two_terminal/sample_worlds",
+      options.heartbeat ? options.worlds : 0,
+      obs::ProgressHeartbeat::Options{
+          .min_interval_nanos = obs::HeartbeatIntervalNanos(),
+          .log = options.heartbeat,
+          .sink = nullptr,
+          .use_global_sink = options.heartbeat});
+
+  std::size_t hits = 0;
+  {
+    CHOBS_SPAN(loop_span, "sample_worlds");
+    for (std::size_t w = 0; w < options.worlds; ++w) {
+      sampler.SampleMask(rng, mask);
+      UniteWorld(graph, mask, dsu);
+      if (dsu.Connected(source, target)) ++hits;
+      progress.Tick(w + 1, hits, w + 1);
+    }
+    loop_span.AddCount("worlds", options.worlds);
+    loop_span.AddCount("hits", hits);
+  }
+  progress.Finish();
+
+  span.AddCount("worlds", options.worlds);
+  CHOBS_COUNT("reliability/two_terminal/estimates", 1);
+  return static_cast<double>(hits) / static_cast<double>(options.worlds);
+}
+
+Result<std::vector<double>> PairSetReliability(
+    const graph::UncertainGraph& graph,
+    const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    const MonteCarloOptions& options, Rng& rng) {
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(options));
+  for (const auto& [s, t] : pairs) {
+    CHAMELEON_RETURN_IF_ERROR(ValidateTerminals(graph, s, t));
+  }
+
+  CHOBS_SPAN(span, "reliability/pair_set");
+  span.AddCount("pairs", pairs.size());
+  const WorldSampler sampler(graph);
+  graph::UnionFind dsu(graph.num_nodes());
+  BitVector mask(graph.num_edges());
+  std::vector<std::size_t> hits(pairs.size(), 0);
+  obs::ProgressHeartbeat progress(
+      "reliability/pair_set/sample_worlds",
+      options.heartbeat ? options.worlds : 0,
+      obs::ProgressHeartbeat::Options{
+          .min_interval_nanos = obs::HeartbeatIntervalNanos(),
+          .log = options.heartbeat,
+          .sink = nullptr,
+          .use_global_sink = options.heartbeat});
+
+  {
+    // Reused sampling: one world serves every pair (Lemma 3's cost
+    // argument) — the loop is worlds-major, pairs-minor.
+    CHOBS_SPAN(loop_span, "sample_worlds");
+    for (std::size_t w = 0; w < options.worlds; ++w) {
+      sampler.SampleMask(rng, mask);
+      UniteWorld(graph, mask, dsu);
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (dsu.Connected(pairs[i].first, pairs[i].second)) ++hits[i];
+      }
+      progress.Tick(w + 1);
+    }
+    loop_span.AddCount("worlds", options.worlds);
+  }
+  progress.Finish();
+
+  std::vector<double> reliability(pairs.size(), 0.0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    reliability[i] =
+        static_cast<double>(hits[i]) / static_cast<double>(options.worlds);
+  }
+  CHOBS_COUNT("reliability/pair_set/estimates", 1);
+  return reliability;
+}
+
+Result<ConnectedPairsEstimate> ExpectedConnectedPairs(
+    const graph::UncertainGraph& graph, const MonteCarloOptions& options,
+    Rng& rng) {
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(options));
+
+  CHOBS_SPAN(span, "reliability/connected_pairs");
+  const WorldSampler sampler(graph);
+  graph::UnionFind dsu(graph.num_nodes());
+  BitVector mask(graph.num_edges());
+  RunningStats stats;
+  obs::ProgressHeartbeat progress(
+      "reliability/connected_pairs/sample_worlds",
+      options.heartbeat ? options.worlds : 0,
+      obs::ProgressHeartbeat::Options{
+          .min_interval_nanos = obs::HeartbeatIntervalNanos(),
+          .log = options.heartbeat,
+          .sink = nullptr,
+          .use_global_sink = options.heartbeat});
+
+  {
+    CHOBS_SPAN(loop_span, "sample_worlds");
+    for (std::size_t w = 0; w < options.worlds; ++w) {
+      sampler.SampleMask(rng, mask);
+      UniteWorld(graph, mask, dsu);
+      stats.Add(static_cast<double>(dsu.ConnectedPairs()));
+      progress.Tick(w + 1);
+    }
+    loop_span.AddCount("worlds", options.worlds);
+  }
+  progress.Finish();
+
+  ConnectedPairsEstimate estimate;
+  estimate.expected_pairs = stats.mean();
+  estimate.stddev = stats.stddev();
+  estimate.worlds = options.worlds;
+  span.AddCount("worlds", options.worlds);
+  CHOBS_COUNT("reliability/connected_pairs/estimates", 1);
+  return estimate;
+}
+
+}  // namespace chameleon::rel

@@ -1,0 +1,195 @@
+#include "chameleon/util/flags.h"
+
+#include "chameleon/util/logging.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon {
+namespace {
+
+const char* TypeName(const std::variant<bool, std::int64_t, double,
+                                        std::string>& value) {
+  switch (value.index()) {
+    case 0:
+      return "bool";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    default:
+      return "string";
+  }
+}
+
+std::string DefaultText(const std::variant<bool, std::int64_t, double,
+                                           std::string>& value) {
+  switch (value.index()) {
+    case 0:
+      return std::get<bool>(value) ? "true" : "false";
+    case 1:
+      return StrFormat("%lld",
+                       static_cast<long long>(std::get<std::int64_t>(value)));
+    case 2:
+      return StrFormat("%g", std::get<double>(value));
+    default:
+      return "\"" + std::get<std::string>(value) + "\"";
+  }
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string summary) : summary_(std::move(summary)) {}
+
+void FlagSet::AddBool(std::string_view name, bool default_value,
+                      std::string_view help) {
+  flags_[std::string(name)] =
+      Flag{default_value, default_value, std::string(help)};
+}
+
+void FlagSet::AddInt64(std::string_view name, std::int64_t default_value,
+                       std::string_view help) {
+  flags_[std::string(name)] =
+      Flag{default_value, default_value, std::string(help)};
+}
+
+void FlagSet::AddDouble(std::string_view name, double default_value,
+                        std::string_view help) {
+  flags_[std::string(name)] =
+      Flag{default_value, default_value, std::string(help)};
+}
+
+void FlagSet::AddString(std::string_view name, std::string_view default_value,
+                        std::string_view help) {
+  flags_[std::string(name)] = Flag{std::string(default_value),
+                                   std::string(default_value),
+                                   std::string(help)};
+}
+
+Status FlagSet::SetFromText(const std::string& name, std::string_view text) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.value.index()) {
+    case 0: {
+      const std::string token(StripWhitespace(text));
+      if (token == "true" || token == "1" || token.empty()) {
+        flag.value = true;
+      } else if (token == "false" || token == "0") {
+        flag.value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       token);
+      }
+      break;
+    }
+    case 1: {
+      Result<std::int64_t> parsed = ParseInt(text);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("bad int for --" + name + ": " +
+                                       parsed.status().message());
+      }
+      flag.value = *parsed;
+      break;
+    }
+    case 2: {
+      Result<double> parsed = ParseDouble(text);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       parsed.status().message());
+      }
+      flag.value = *parsed;
+      break;
+    }
+    default:
+      flag.value = std::string(text);
+  }
+  flag.set = true;
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!HasPrefix(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {  // bare "--": the rest is positional
+      for (++i; i < argc; ++i) positional_.emplace_back(argv[i]);
+      break;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      CHAMELEON_RETURN_IF_ERROR(
+          SetFromText(std::string(arg.substr(0, eq)), arg.substr(eq + 1)));
+      continue;
+    }
+    std::string name(arg);
+    auto it = flags_.find(name);
+    // "--noflag" shorthand for bool flags.
+    if (it == flags_.end() && HasPrefix(name, "no")) {
+      const std::string stripped = name.substr(2);
+      const auto no_it = flags_.find(stripped);
+      if (no_it != flags_.end() && no_it->second.value.index() == 0) {
+        no_it->second.value = false;
+        no_it->second.set = true;
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (it->second.value.index() == 0) {  // "--flag" sets a bool
+      it->second.value = true;
+      it->second.set = true;
+      continue;
+    }
+    // Non-bool without '=': consume the next argument as the value.
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    CHAMELEON_RETURN_IF_ERROR(SetFromText(name, argv[++i]));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag* FlagSet::FindOrDie(std::string_view name) const {
+  const auto it = flags_.find(name);
+  CH_CHECK(it != flags_.end() && "flag not registered");
+  return &it->second;
+}
+
+bool FlagSet::GetBool(std::string_view name) const {
+  return std::get<bool>(FindOrDie(name)->value);
+}
+
+std::int64_t FlagSet::GetInt64(std::string_view name) const {
+  return std::get<std::int64_t>(FindOrDie(name)->value);
+}
+
+double FlagSet::GetDouble(std::string_view name) const {
+  return std::get<double>(FindOrDie(name)->value);
+}
+
+const std::string& FlagSet::GetString(std::string_view name) const {
+  return std::get<std::string>(FindOrDie(name)->value);
+}
+
+bool FlagSet::WasSet(std::string_view name) const {
+  return FindOrDie(name)->set;
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = summary_;
+  out += "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-18s %-7s (default %s)\n      %s\n", name.c_str(),
+                     TypeName(flag.value), DefaultText(flag.default_value).c_str(),
+                     flag.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,37 @@
+#include "chameleon/util/rng.h"
+
+namespace chameleon {
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method: multiply-shift, with a rejection
+  // loop entered only for the biased low range.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller on (0, 1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace chameleon

@@ -1,0 +1,128 @@
+#include "chameleon/util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chameleon {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    // +1: vsnprintf writes the terminating NUL; std::string guarantees
+    // data()[size()] is addressable.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(needed) + 1, format,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    const std::size_t stop = (end == std::string_view::npos) ? text.size() : end;
+    if (stop > start) tokens.emplace_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return tokens;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool HasPrefix(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool HasSuffix(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<std::int64_t> ParseInt(std::string_view text) {
+  const std::string token(StripWhitespace(text));
+  if (token.empty()) return Status::InvalidArgument("empty integer token");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + token);
+  }
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + token);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string token(StripWhitespace(text));
+  if (token.empty()) return Status::InvalidArgument("empty number token");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: " + token);
+  }
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + token);
+  }
+  return value;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c) & 0xffu);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace chameleon

@@ -1,0 +1,78 @@
+#include "chameleon/graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace chameleon::graph {
+namespace {
+
+TEST(IoTest, ParseBasicEdgeList) {
+  std::istringstream in(
+      "# a comment\n"
+      "0 1 0.5\n"
+      "\n"
+      "1 2 0.25\n");
+  const Result<UncertainGraph> g = ParseEdgeList(in, "test");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g->edge(0).p, 0.5);
+}
+
+TEST(IoTest, NodesHeaderFixesIsolatedVertices) {
+  std::istringstream in(
+      "# nodes 10\n"
+      "0 1 0.5\n");
+  const Result<UncertainGraph> g = ParseEdgeList(in, "test");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10u);
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(IoTest, MalformedLineFails) {
+  std::istringstream in("0 1\n");
+  const Result<UncertainGraph> g = ParseEdgeList(in, "bad.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("bad.edges:1"), std::string::npos);
+}
+
+TEST(IoTest, BadProbabilityFails) {
+  std::istringstream in("0 1 1.5\n");
+  EXPECT_FALSE(ParseEdgeList(in, "test").ok());
+}
+
+TEST(IoTest, RoundTripThroughFile) {
+  UncertainGraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.125).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, 0.875).ok());
+  const Result<UncertainGraph> original = std::move(builder).Build();
+  ASSERT_TRUE(original.ok());
+
+  const std::string path =
+      testing::TempDir() + "/chameleon_io_roundtrip.edges";
+  ASSERT_TRUE(WriteEdgeList(*original, path).ok());
+
+  const Result<UncertainGraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original->num_nodes());
+  ASSERT_EQ(loaded->num_edges(), original->num_edges());
+  for (std::size_t e = 0; e < loaded->num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(static_cast<EdgeId>(e)),
+              original->edge(static_cast<EdgeId>(e)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  const Result<UncertainGraph> g =
+      ReadEdgeList("/nonexistent/chameleon.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace chameleon::graph

@@ -1,0 +1,74 @@
+#include "chameleon/obs/sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace chameleon::obs {
+namespace {
+
+TEST(JsonlFieldTest, ExtractsStringsAndNumbers) {
+  const std::string line =
+      R"({"type":"span","path":"a/b","t_ms":1700000000123,"dur_ns":4567,)"
+      R"("ratio":0.25,"note":"has \"quotes\" and , commas"})";
+  EXPECT_EQ(*JsonlStringField(line, "type"), "span");
+  EXPECT_EQ(*JsonlStringField(line, "path"), "a/b");
+  EXPECT_EQ(*JsonlNumberField(line, "dur_ns"), 4567.0);
+  EXPECT_EQ(*JsonlNumberField(line, "ratio"), 0.25);
+  EXPECT_FALSE(JsonlStringField(line, "missing").has_value());
+  EXPECT_FALSE(JsonlNumberField(line, "missing").has_value());
+}
+
+TEST(JsonlFieldTest, KeyInsideStringValueIsNotAMatch) {
+  const std::string line = R"({"note":"dur_ns inside text","dur_ns":7})";
+  EXPECT_EQ(*JsonlNumberField(line, "dur_ns"), 7.0);
+}
+
+TEST(MemorySinkTest, KeepsLinesInOrder) {
+  MemorySink sink;
+  sink.Write(R"({"type":"a"})");
+  sink.Write(R"({"type":"b"})");
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(*JsonlStringField(lines[0], "type"), "a");
+  EXPECT_EQ(*JsonlStringField(lines[1], "type"), "b");
+}
+
+TEST(JsonlFileSinkTest, GoldenRecordStructure) {
+  const std::string path = testing::TempDir() + "/chameleon_sink_test.jsonl";
+  {
+    auto sink = JsonlFileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    (*sink)->Write(
+        R"({"type":"span","path":"reliability/two_terminal","dur_ns":100})");
+    (*sink)->Write(R"({"type":"run_summary","wall_ms":12})");
+    (*sink)->Flush();
+  }  // destructor closes the file
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // Every line is a complete object with the expected fields.
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_EQ(*JsonlStringField(lines[0], "type"), "span");
+  EXPECT_EQ(*JsonlStringField(lines[0], "path"), "reliability/two_terminal");
+  EXPECT_EQ(*JsonlNumberField(lines[0], "dur_ns"), 100.0);
+  EXPECT_EQ(*JsonlStringField(lines[1], "type"), "run_summary");
+  EXPECT_EQ(*JsonlNumberField(lines[1], "wall_ms"), 12.0);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFileSinkTest, UnwritablePathFails) {
+  const auto sink = JsonlFileSink::Open("/nonexistent/dir/out.jsonl");
+  ASSERT_FALSE(sink.ok());
+  EXPECT_EQ(sink.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

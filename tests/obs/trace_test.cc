@@ -1,0 +1,120 @@
+#include "chameleon/obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/obs/metrics.h"
+#include "chameleon/obs/sink.h"
+
+namespace chameleon::obs {
+namespace {
+
+TEST(StripPathIndicesTest, RemovesBracketSegments) {
+  EXPECT_EQ(StripPathIndices("a/b/c"), "a/b/c");
+  EXPECT_EQ(StripPathIndices("genobf/trial[3]/sample"), "genobf/trial/sample");
+  EXPECT_EQ(StripPathIndices("x[0]"), "x");
+  EXPECT_EQ(StripPathIndices("a[1]/b[22]/c[333]"), "a/b/c");
+  EXPECT_EQ(StripPathIndices(""), "");
+}
+
+TEST(TraceSpanTest, PathsNestOnOneThread) {
+  MetricsRegistry metrics;
+  MemorySink sink;
+  Tracer tracer(&sink, &metrics);
+  EXPECT_EQ(tracer.CurrentPath(), "");
+  {
+    TraceSpan outer("anonymize", &tracer);
+    EXPECT_EQ(outer.path(), "anonymize");
+    EXPECT_EQ(tracer.CurrentPath(), "anonymize");
+    {
+      TraceSpan mid("genobf", &tracer);
+      EXPECT_EQ(mid.path(), "anonymize/genobf");
+      TraceSpan inner("trial[3]", &tracer);
+      EXPECT_EQ(inner.path(), "anonymize/genobf/trial[3]");
+    }
+    EXPECT_EQ(tracer.CurrentPath(), "anonymize");
+  }
+  EXPECT_EQ(tracer.CurrentPath(), "");
+
+  // Inner spans close (and are recorded) before outer ones.
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(*JsonlStringField(lines[0], "path"), "anonymize/genobf/trial[3]");
+  EXPECT_EQ(*JsonlStringField(lines[1], "path"), "anonymize/genobf");
+  EXPECT_EQ(*JsonlStringField(lines[2], "path"), "anonymize");
+  for (const std::string& line : lines) {
+    EXPECT_EQ(*JsonlStringField(line, "type"), "span");
+    EXPECT_GE(*JsonlNumberField(line, "dur_ns"), 0.0);
+  }
+}
+
+TEST(TraceSpanTest, DurationsAreMonotoneAndNested) {
+  MetricsRegistry metrics;
+  Tracer tracer(nullptr, &metrics);
+  TraceSpan outer("outer", &tracer);
+  const std::uint64_t first = outer.ElapsedNanos();
+  std::uint64_t inner_total = 0;
+  {
+    TraceSpan inner("work", &tracer);
+    volatile int sink_value = 0;
+    for (int i = 0; i < 10000; ++i) sink_value = i;
+    static_cast<void>(sink_value);
+    inner_total = inner.ElapsedNanos();
+  }
+  const std::uint64_t second = outer.ElapsedNanos();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, inner_total);  // the parent covers the child
+}
+
+TEST(TraceSpanTest, MetricsUseIndexStrippedNames) {
+  MetricsRegistry metrics;
+  Tracer tracer(nullptr, &metrics);
+  for (int trial = 0; trial < 4; ++trial) {
+    TraceSpan span("trial[" + std::to_string(trial) + "]", &tracer);
+  }
+  const MetricsSnapshot snapshot = metrics.TakeSnapshot();
+  const HistogramSample* h = snapshot.FindHistogram("span/trial");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+}
+
+TEST(TraceSpanTest, CountersLandInSpanRecord) {
+  MetricsRegistry metrics;
+  MemorySink sink;
+  Tracer tracer(&sink, &metrics);
+  {
+    TraceSpan span("load", &tracer);
+    span.AddCount("edges", 10);
+    span.AddCount("edges", 5);
+    span.AddCount("nodes", 3);
+  }
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(*JsonlNumberField(lines[0], "edges"), 15.0);
+  EXPECT_EQ(*JsonlNumberField(lines[0], "nodes"), 3.0);
+}
+
+TEST(TraceSpanTest, NullTracerIsInactive) {
+  TraceSpan span("ignored", nullptr);
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.ElapsedNanos(), 0u);
+  span.AddCount("x", 1);  // must not crash
+}
+
+TEST(TraceSpanTest, SeparateTracersDoNotNestIntoEachOther) {
+  MetricsRegistry metrics;
+  MemorySink sink_a;
+  MemorySink sink_b;
+  Tracer a(&sink_a, &metrics);
+  Tracer b(&sink_b, &metrics);
+  TraceSpan outer("outer", &a);
+  {
+    TraceSpan other("other", &b);
+    EXPECT_EQ(other.path(), "other");  // not "outer/other"
+  }
+  EXPECT_EQ(a.CurrentPath(), "outer");
+}
+
+}  // namespace
+}  // namespace chameleon::obs

@@ -1,0 +1,161 @@
+#include "chameleon/reliability/reliability.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/reliability/world_sampler.h"
+#include "chameleon/util/bitvector.h"
+
+namespace chameleon::rel {
+namespace {
+
+using graph::UncertainGraph;
+using graph::UncertainGraphBuilder;
+
+MonteCarloOptions QuietOptions(std::size_t worlds) {
+  MonteCarloOptions options;
+  options.worlds = worlds;
+  options.heartbeat = false;
+  return options;
+}
+
+UncertainGraph MakePath3() {
+  // 0 -(0.8)- 1 -(0.5)- 2; exact R(0,2) = 0.4.
+  UncertainGraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1, 0.8).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, 0.5).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+UncertainGraph MakeTriangle(double p) {
+  UncertainGraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1, p).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, p).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0, p).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+TEST(WorldSamplerTest, DeterministicEdgesAlwaysPresent) {
+  UncertainGraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.0).ok());
+  const Result<UncertainGraph> g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  WorldSampler sampler(*g);
+  Rng rng(5);
+  BitVector mask(g->num_edges());
+  for (int w = 0; w < 100; ++w) {
+    const std::size_t present = sampler.SampleMask(rng, mask);
+    EXPECT_EQ(present, 1u);
+    EXPECT_TRUE(mask.Get(0));
+    EXPECT_FALSE(mask.Get(1));
+  }
+}
+
+TEST(WorldSamplerTest, EdgeFrequencyMatchesProbability) {
+  const UncertainGraph g = MakePath3();
+  WorldSampler sampler(g);
+  Rng rng(17);
+  BitVector mask(g.num_edges());
+  std::size_t hits0 = 0;
+  std::size_t hits1 = 0;
+  constexpr int kWorlds = 20000;
+  for (int w = 0; w < kWorlds; ++w) {
+    sampler.SampleMask(rng, mask);
+    if (mask.Get(0)) ++hits0;
+    if (mask.Get(1)) ++hits1;
+  }
+  EXPECT_NEAR(static_cast<double>(hits0) / kWorlds, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits1) / kWorlds, 0.5, 0.015);
+}
+
+TEST(TwoTerminalTest, PathGraphMatchesExact) {
+  const UncertainGraph g = MakePath3();
+  Rng rng(42);
+  const Result<double> r =
+      TwoTerminalReliability(g, 0, 2, QuietOptions(20000), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.4, 0.01);
+}
+
+TEST(TwoTerminalTest, TriangleMatchesExact) {
+  // R(0,1) on a triangle with all p: direct edge, or the two-hop path:
+  // p + (1-p) * p^2. For p = 0.5: 0.5 + 0.5*0.25 = 0.625.
+  const UncertainGraph g = MakeTriangle(0.5);
+  Rng rng(43);
+  const Result<double> r =
+      TwoTerminalReliability(g, 0, 1, QuietOptions(20000), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.625, 0.01);
+}
+
+TEST(TwoTerminalTest, SameTerminalIsCertain) {
+  const UncertainGraph g = MakePath3();
+  Rng rng(1);
+  const Result<double> r =
+      TwoTerminalReliability(g, 1, 1, QuietOptions(100), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(TwoTerminalTest, InvalidArgumentsFail) {
+  const UncertainGraph g = MakePath3();
+  Rng rng(1);
+  EXPECT_FALSE(TwoTerminalReliability(g, 0, 99, QuietOptions(10), rng).ok());
+  EXPECT_FALSE(TwoTerminalReliability(g, 0, 2, QuietOptions(0), rng).ok());
+}
+
+TEST(PairSetTest, MatchesSingleEstimates) {
+  const UncertainGraph g = MakePath3();
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {0, 1}, {1, 2}, {0, 2}};
+  Rng rng(44);
+  const Result<std::vector<double>> r =
+      PairSetReliability(g, pairs, QuietOptions(20000), rng);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_NEAR((*r)[0], 0.8, 0.01);
+  EXPECT_NEAR((*r)[1], 0.5, 0.015);
+  EXPECT_NEAR((*r)[2], 0.4, 0.01);
+}
+
+TEST(PairSetTest, EmptyPairsGivesEmptyResult) {
+  const UncertainGraph g = MakePath3();
+  Rng rng(1);
+  const Result<std::vector<double>> r =
+      PairSetReliability(g, {}, QuietOptions(10), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(ExpectedConnectedPairsTest, PathGraphMatchesExact) {
+  // Pairs connected: {0,1} w.p. 0.8, {1,2} w.p. 0.5, {0,2} w.p. 0.4.
+  // E[#connected pairs] = 1.7.
+  const UncertainGraph g = MakePath3();
+  Rng rng(45);
+  const Result<ConnectedPairsEstimate> r =
+      ExpectedConnectedPairs(g, QuietOptions(20000), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->expected_pairs, 1.7, 0.03);
+  EXPECT_GT(r->stddev, 0.0);
+  EXPECT_EQ(r->worlds, 20000u);
+}
+
+TEST(ExpectedConnectedPairsTest, CertainGraphHasZeroVariance) {
+  const UncertainGraph g = MakeTriangle(1.0);
+  Rng rng(46);
+  const Result<ConnectedPairsEstimate> r =
+      ExpectedConnectedPairs(g, QuietOptions(500), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->expected_pairs, 3.0);
+  EXPECT_DOUBLE_EQ(r->stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace chameleon::rel

@@ -1,0 +1,107 @@
+#include "chameleon/util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/util/string_util.h"
+
+namespace chameleon {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(FlagSetTest, DefaultsAndOverrides) {
+  FlagSet flags("test");
+  flags.AddBool("verbose", false, "chatty");
+  flags.AddInt64("worlds", 1000, "N");
+  flags.AddDouble("scale", 1.0, "s");
+  flags.AddString("out", "a.txt", "file");
+
+  std::vector<std::string> args = {"--worlds=250", "--verbose",
+                                   "--scale", "2.5"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+
+  EXPECT_EQ(flags.GetInt64("worlds"), 250);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), 2.5);
+  EXPECT_EQ(flags.GetString("out"), "a.txt");
+  EXPECT_TRUE(flags.WasSet("worlds"));
+  EXPECT_FALSE(flags.WasSet("out"));
+}
+
+TEST(FlagSetTest, NoBoolShorthandAndPositionals) {
+  FlagSet flags("test");
+  flags.AddBool("heartbeat", true, "beat");
+  std::vector<std::string> args = {"--noheartbeat", "input.edges"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(flags.GetBool("heartbeat"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.edges");
+}
+
+TEST(FlagSetTest, UnknownFlagFails) {
+  FlagSet flags("test");
+  flags.AddInt64("k", 1, "k");
+  std::vector<std::string> args = {"--q=3"};
+  auto argv = MakeArgv(args);
+  const Status s = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagSetTest, BadValueFails) {
+  FlagSet flags("test");
+  flags.AddInt64("k", 1, "k");
+  std::vector<std::string> args = {"--k=banana"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagSetTest, UsageMentionsFlags) {
+  FlagSet flags("my tool");
+  flags.AddInt64("worlds", 1000, "possible worlds");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--worlds"), std::string::npos);
+  EXPECT_NE(usage.find("possible worlds"), std::string::npos);
+}
+
+TEST(StringUtilTest, SplitTokens) {
+  const auto tokens = SplitTokens("10, 20,,30 ", ", ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "10");
+  EXPECT_EQ(tokens[1], "20");
+  EXPECT_EQ(tokens[2], "30");
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(*ParseInt("  -42 "), -42);
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_FALSE(ParseDouble("0.25.3").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%s=%d", "k", 7), "k=7");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+}
+
+TEST(StringUtilTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,93 @@
+#include "chameleon/util/rng.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/util/stats.h"
+
+namespace chameleon {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.UniformDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  std::uint64_t counts[10] = {};
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t x = rng.UniformInt(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  for (const std::uint64_t c : counts) {
+    EXPECT_GT(c, 4300u);  // ~5000 expected per bucket
+    EXPECT_LT(c, 5700u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(99);
+  Rng child = parent.Split();
+  Rng parent_again(99);
+  Rng child_again = parent_again.Split();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child(), child_again());
+  EXPECT_NE(child(), parent());
+}
+
+TEST(KahanSumTest, CompensatesSmallTerms) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 10000.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace chameleon

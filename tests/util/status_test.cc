@@ -1,0 +1,71 @@
+#include "chameleon/util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad p");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad p");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad p");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = *std::move(r);
+  EXPECT_EQ(moved, "payload");
+}
+
+Status Half(int x, int* out) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  *out = x / 2;
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x, int* out) {
+  CHAMELEON_RETURN_IF_ERROR(Half(x, out));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseReturnIfError(4, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(UseReturnIfError(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace chameleon

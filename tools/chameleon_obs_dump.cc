@@ -1,0 +1,204 @@
+// Pretty-prints a chameleon metrics JSONL file (produced via
+// --metrics_out= or $CHAMELEON_METRICS) as a per-phase timing table:
+//
+//   $ chameleon_obs_dump run.jsonl
+//   phase                                   calls   total ms    mean ms   %run
+//   reliability/two_terminal                    1     812.44     812.44   74.1
+//   reliability/two_terminal/sample_worlds      1     811.90     811.90   74.0
+//   ...
+//
+// plus the final run summary's counters. The bench harness consumes the
+// same table to attribute experiment wall time to pipeline phases.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/status.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon {
+namespace {
+
+struct PhaseAggregate {
+  std::uint64_t calls = 0;
+  double total_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+struct DumpResult {
+  std::map<std::string, PhaseAggregate> phases;
+  std::vector<std::pair<std::string, double>> summary_counters;
+  double run_wall_ms = -1.0;
+  std::size_t span_records = 0;
+  std::size_t progress_records = 0;
+  std::size_t snapshot_records = 0;
+};
+
+/// Pulls every `"name":value` pair out of the run summary's "counters"
+/// object. Relies on the flat layout the sink emits.
+void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
+  const std::size_t block = line.find("\"counters\":{");
+  if (block == std::string::npos) return;
+  std::size_t i = block + 12;
+  while (i < line.size() && line[i] != '}') {
+    const std::size_t key_start = line.find('"', i);
+    if (key_start == std::string::npos) break;
+    const std::size_t key_end = line.find('"', key_start + 1);
+    if (key_end == std::string::npos) break;
+    const std::size_t colon = line.find(':', key_end);
+    if (colon == std::string::npos) break;
+    std::size_t value_end = colon + 1;
+    while (value_end < line.size() &&
+           std::string_view("+-.eE0123456789").find(line[value_end]) !=
+               std::string_view::npos) {
+      ++value_end;
+    }
+    const Result<double> value =
+        ParseDouble(line.substr(colon + 1, value_end - colon - 1));
+    if (value.ok()) {
+      out->summary_counters.emplace_back(
+          line.substr(key_start + 1, key_end - key_start - 1), *value);
+    }
+    i = value_end + 1;
+  }
+}
+
+Result<DumpResult> Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  DumpResult out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto type = obs::JsonlStringField(line, "type");
+    if (!type.has_value()) continue;
+    if (*type == "span") {
+      const auto span_path = obs::JsonlStringField(line, "path");
+      const auto dur = obs::JsonlNumberField(line, "dur_ns");
+      if (!span_path.has_value() || !dur.has_value()) continue;
+      ++out.span_records;
+      PhaseAggregate& agg = out.phases[*span_path];
+      ++agg.calls;
+      agg.total_ns += *dur;
+      agg.max_ns = std::max(agg.max_ns, *dur);
+    } else if (*type == "progress") {
+      ++out.progress_records;
+    } else if (*type == "snapshot") {
+      ++out.snapshot_records;
+    } else if (*type == "run_summary") {
+      const auto wall = obs::JsonlNumberField(line, "wall_ms");
+      if (wall.has_value()) out.run_wall_ms = *wall;
+      ExtractSummaryCounters(line, &out);
+    }
+  }
+  return out;
+}
+
+void PrintReport(const DumpResult& dump, const std::string& sort_key,
+                 std::int64_t top) {
+  std::vector<std::pair<std::string, PhaseAggregate>> rows(
+      dump.phases.begin(), dump.phases.end());
+  if (sort_key == "total") {
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total_ns > b.second.total_ns;
+    });
+  } else if (sort_key == "calls") {
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.calls > b.second.calls;
+    });
+  }  // "path": keep map order
+  if (top > 0 && static_cast<std::size_t>(top) < rows.size()) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+
+  std::size_t width = 5;
+  for (const auto& [path, agg] : rows) width = std::max(width, path.size());
+  // Without a run summary, attribute against the largest span total.
+  double run_ns = dump.run_wall_ms * 1e6;
+  if (run_ns <= 0.0) {
+    for (const auto& [path, agg] : rows) run_ns = std::max(run_ns, agg.total_ns);
+  }
+
+  std::printf("%-*s %8s %11s %10s %10s %6s\n", static_cast<int>(width),
+              "phase", "calls", "total ms", "mean ms", "max ms", "%run");
+  for (const auto& [path, agg] : rows) {
+    const double mean_ns =
+        agg.calls > 0 ? agg.total_ns / static_cast<double>(agg.calls) : 0.0;
+    std::printf("%-*s %8llu %11.3f %10.3f %10.3f %6.1f\n",
+                static_cast<int>(width), path.c_str(),
+                static_cast<unsigned long long>(agg.calls),
+                agg.total_ns * 1e-6, mean_ns * 1e-6, agg.max_ns * 1e-6,
+                run_ns > 0.0 ? 100.0 * agg.total_ns / run_ns : 0.0);
+  }
+
+  if (!dump.summary_counters.empty()) {
+    std::printf("\nrun summary counters:\n");
+    std::size_t cwidth = 5;
+    for (const auto& [name, value] : dump.summary_counters) {
+      cwidth = std::max(cwidth, name.size());
+    }
+    for (const auto& [name, value] : dump.summary_counters) {
+      std::printf("  %-*s %15.0f\n", static_cast<int>(cwidth), name.c_str(),
+                  value);
+    }
+  }
+  if (dump.run_wall_ms >= 0.0) {
+    std::printf("\nrun wall time: %.3f ms  (%zu spans, %zu snapshots, "
+                "%zu progress records)\n",
+                dump.run_wall_ms, dump.span_records, dump.snapshot_records,
+                dump.progress_records);
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "chameleon_obs_dump: per-phase timing table from a metrics JSONL "
+      "file");
+  flags.AddString("input", "", "metrics JSONL path (or first positional)");
+  flags.AddString("sort", "total", "row order: total | calls | path");
+  flags.AddInt64("top", 0, "show only the top N phases (0 = all)");
+  flags.AddBool("help", false, "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  std::string path = flags.GetString("input");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "error: no input file\n%s", flags.Usage().c_str());
+    return 2;
+  }
+
+  const Result<DumpResult> dump = Load(path);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "error: %s\n", dump.status().ToString().c_str());
+    return 1;
+  }
+  if (dump->phases.empty() && dump->summary_counters.empty()) {
+    std::fprintf(stderr,
+                 "%s: no chameleon obs records found (is it a metrics "
+                 "JSONL?)\n",
+                 path.c_str());
+    return 1;
+  }
+  PrintReport(*dump, flags.GetString("sort"), flags.GetInt64("top"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }
