@@ -1,0 +1,200 @@
+// The canonical "core" benchmark suite behind the perf-regression gate:
+//
+//   chameleon_bench_core --out=BENCH_core.json
+//   chameleon_bench_diff BENCH_core.json <new BENCH_core.json>
+//
+// Covers the hot paths of the reproduction: CSR construction, possible-
+// world sampling, and the Monte Carlo reliability estimators built on
+// both. Fixed seeds everywhere so run-to-run deltas measure the code,
+// not the workload.
+
+#include <cstdint>
+#include <cstdio>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/run_context.h"
+#include "chameleon/reliability/reliability.h"
+#include "chameleon/reliability/world_sampler.h"
+#include "chameleon/util/bitvector.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/rng.h"
+#include "harness.h"
+
+namespace chameleon {
+namespace {
+
+constexpr std::uint64_t kSeed = 2018;
+
+/// Deterministic Erdos-Renyi-style edge list (same construction as the
+/// mc_reliability tool, kept local so the suite has no tool dependency).
+std::vector<std::tuple<NodeId, NodeId, double>> RandomEdges(NodeId nodes,
+                                                            double avg_degree) {
+  Rng rng(kSeed);
+  const auto target =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(nodes) / 2.0);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  edges.reserve(target);
+  while (edges.size() < target) {
+    auto u = static_cast<NodeId>(rng.UniformInt(nodes));
+    auto v = static_cast<NodeId>(rng.UniformInt(nodes));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      continue;
+    }
+    edges.emplace_back(u, v, rng.Uniform(0.1, 0.9));
+  }
+  return edges;
+}
+
+graph::UncertainGraph BuildGraph(NodeId nodes, double avg_degree) {
+  graph::UncertainGraphBuilder builder(nodes);
+  for (const auto& [u, v, p] : RandomEdges(nodes, avg_degree)) {
+    (void)builder.AddEdge(u, v, p);
+  }
+  auto graph = std::move(builder).Build();
+  return std::move(graph).value();
+}
+
+// --------------------------------------------------------------------------
+// csr_build_er_2k: UncertainGraphBuilder::Build on a 2k-node / ~8k-edge
+// Erdos-Renyi graph — sort, dedup, CSR adjacency, expected degrees.
+// --------------------------------------------------------------------------
+void BM_CsrBuildEr2k(bench::BenchContext& context) {
+  const auto edges = RandomEdges(2000, 8.0);
+  context.SetItemsPerIteration(edges.size());
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    graph::UncertainGraphBuilder builder(2000);
+    for (const auto& [u, v, p] : edges) (void)builder.AddEdge(u, v, p);
+    const auto graph = std::move(builder).Build();
+    bench::DoNotOptimize(graph.value().num_edges());
+  }
+}
+CHAMELEON_BENCHMARK(BM_CsrBuildEr2k);
+
+// --------------------------------------------------------------------------
+// world_sample_er_2k: one possible world per iteration on the same graph
+// — the innermost loop of every Monte Carlo estimate.
+// --------------------------------------------------------------------------
+void BM_WorldSampleEr2k(bench::BenchContext& context) {
+  const graph::UncertainGraph graph = BuildGraph(2000, 8.0);
+  const rel::WorldSampler sampler(graph);
+  context.SetItemsPerIteration(sampler.num_edges());
+  Rng rng(kSeed);
+  BitVector mask(sampler.num_edges());
+  std::size_t present = 0;
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    present += sampler.SampleMask(rng, mask);
+  }
+  bench::DoNotOptimize(present);
+}
+CHAMELEON_BENCHMARK(BM_WorldSampleEr2k);
+
+// --------------------------------------------------------------------------
+// mc_two_terminal_500n_64w: full two-terminal reliability estimate
+// (sampling + union-find) with 64 worlds per iteration.
+// --------------------------------------------------------------------------
+void BM_McTwoTerminal500n64w(bench::BenchContext& context) {
+  const graph::UncertainGraph graph = BuildGraph(500, 6.0);
+  rel::MonteCarloOptions options;
+  options.worlds = 64;
+  options.heartbeat = false;
+  context.SetItemsPerIteration(options.worlds);
+  Rng rng(kSeed);
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    const auto r = rel::TwoTerminalReliability(graph, 0, 1, options, rng);
+    bench::DoNotOptimize(r.value());
+  }
+}
+CHAMELEON_BENCHMARK(BM_McTwoTerminal500n64w);
+
+// --------------------------------------------------------------------------
+// pair_set_reliability_500n_8p: Algorithm 2's shared-world evaluation of
+// 8 terminal pairs against 32 worlds.
+// --------------------------------------------------------------------------
+void BM_PairSetReliability500n8p(bench::BenchContext& context) {
+  const graph::UncertainGraph graph = BuildGraph(500, 6.0);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId i = 0; i < 8; ++i) pairs.emplace_back(i, i + 100);
+  rel::MonteCarloOptions options;
+  options.worlds = 32;
+  options.heartbeat = false;
+  context.SetItemsPerIteration(options.worlds * pairs.size());
+  Rng rng(kSeed);
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    const auto r = rel::PairSetReliability(graph, pairs, options, rng);
+    bench::DoNotOptimize(r.value().size());
+  }
+}
+CHAMELEON_BENCHMARK(BM_PairSetReliability500n8p);
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "chameleon_bench_core: run the core benchmark suite and write a "
+      "canonical BENCH_<suite>.json for chameleon_bench_diff");
+  flags.AddString("out", "BENCH_core.json", "output BENCH json path");
+  flags.AddString("suite", "core", "suite name stamped into the json");
+  flags.AddBool("quick", false, "CI mode: fewer reps, shorter calibration");
+  flags.AddInt64("reps", 0, "timed repetitions (0: mode default)");
+  flags.AddString("filter", "", "only run benchmarks containing substring");
+  flags.AddBool("list", false, "list benchmark names and exit");
+  flags.AddBool("version", false, "print build provenance and exit");
+  flags.AddBool("help", false, "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s",
+                 obs::VersionString("chameleon_bench_core").c_str());
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    for (const std::string& name : bench::RegisteredBenchmarkNames()) {
+      std::fprintf(stdout, "%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  bench::BenchOptions options;
+  if (flags.GetBool("quick")) options = bench::BenchOptions::Quick();
+  if (flags.GetInt64("reps") > 0) {
+    options.reps = static_cast<int>(flags.GetInt64("reps"));
+  }
+  options.filter = flags.GetString("filter");
+
+  const std::vector<bench::BenchResult> results =
+      bench::RunRegisteredBenchmarks(options);
+  if (results.empty()) {
+    std::fprintf(stderr, "no benchmarks matched filter \"%s\"\n",
+                 options.filter.c_str());
+    return 1;
+  }
+
+  const std::string& out = flags.GetString("out");
+  if (Status s = bench::WriteBenchFile(out, flags.GetString("suite"), results,
+                                       options);
+      !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stdout, "wrote %s (%zu benchmarks)\n", out.c_str(),
+               results.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }

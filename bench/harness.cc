@@ -1,0 +1,366 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "chameleon/obs/run_context.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::bench {
+namespace {
+
+std::vector<std::pair<std::string, BenchFn>>& Registry() {
+  static auto* registry = new std::vector<std::pair<std::string, BenchFn>>();
+  return *registry;
+}
+
+/// One timed repetition: `iterations` calls worth of work, wall ns total.
+std::uint64_t TimeRep(const BenchFn& fn, std::uint64_t iterations,
+                      std::uint64_t* items_out) {
+  BenchContext context(iterations);
+  const std::uint64_t start = MonotonicNanos();
+  fn(context);
+  const std::uint64_t elapsed = MonotonicNanos() - start;
+  if (items_out != nullptr) *items_out = context.items_per_iteration();
+  return elapsed;
+}
+
+constexpr std::uint64_t kMaxIterations = std::uint64_t{1} << 40;
+
+}  // namespace
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lower + upper) / 2.0;
+}
+
+double MedianAbsDeviation(const std::vector<double>& values, double median) {
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::fabs(v - median));
+  return Median(std::move(deviations));
+}
+
+void RegisterBenchmark(std::string name, BenchFn fn) {
+  for (const auto& [existing, unused] : Registry()) {
+    if (existing == name) {
+      std::fprintf(stderr, "duplicate benchmark name: %s\n", name.c_str());
+      std::abort();
+    }
+  }
+  Registry().emplace_back(std::move(name), std::move(fn));
+}
+
+std::vector<std::string> RegisteredBenchmarkNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, unused] : Registry()) names.push_back(name);
+  return names;
+}
+
+BenchResult MeasureBenchmark(std::string_view name, const BenchFn& fn,
+                             const BenchOptions& options) {
+  const auto min_rep_ns =
+      static_cast<std::uint64_t>(options.min_rep_seconds * 1e9);
+
+  // Calibrate: grow the iteration count until a repetition takes at least
+  // min_rep_ns, so the per-iteration figure is not dominated by timer
+  // granularity. Growth targets ~1.4x the minimum to converge fast
+  // without overshooting wildly.
+  std::uint64_t iterations = 1;
+  std::uint64_t items = 0;
+  while (true) {
+    const std::uint64_t elapsed = TimeRep(fn, iterations, &items);
+    if (elapsed >= min_rep_ns || iterations >= kMaxIterations) break;
+    const double scale =
+        static_cast<double>(min_rep_ns) * 1.4 /
+        static_cast<double>(std::max<std::uint64_t>(elapsed, 1));
+    const auto grown = static_cast<std::uint64_t>(
+        static_cast<double>(iterations) * std::min(scale, 10.0));
+    iterations = std::max(iterations + 1, grown);
+  }
+
+  for (int i = 0; i < options.warmup_reps; ++i) {
+    TimeRep(fn, iterations, nullptr);
+  }
+
+  std::vector<double> per_iter_ns;
+  per_iter_ns.reserve(static_cast<std::size_t>(std::max(options.reps, 1)));
+  for (int i = 0; i < std::max(options.reps, 1); ++i) {
+    const std::uint64_t elapsed = TimeRep(fn, iterations, &items);
+    per_iter_ns.push_back(static_cast<double>(elapsed) /
+                          static_cast<double>(iterations));
+  }
+
+  BenchResult result;
+  result.name = std::string(name);
+  result.iterations = iterations;
+  result.reps = static_cast<int>(per_iter_ns.size());
+  result.median_ns = Median(per_iter_ns);
+  result.mad_ns = MedianAbsDeviation(per_iter_ns, result.median_ns);
+  result.min_ns = *std::min_element(per_iter_ns.begin(), per_iter_ns.end());
+  result.max_ns = *std::max_element(per_iter_ns.begin(), per_iter_ns.end());
+  double sum = 0.0;
+  for (const double v : per_iter_ns) sum += v;
+  result.mean_ns = sum / static_cast<double>(per_iter_ns.size());
+  if (items > 0 && result.median_ns > 0.0) {
+    result.items_per_sec =
+        static_cast<double>(items) / (result.median_ns * 1e-9);
+  }
+  return result;
+}
+
+std::vector<BenchResult> RunRegisteredBenchmarks(const BenchOptions& options) {
+  std::vector<BenchResult> results;
+  for (const auto& [name, fn] : Registry()) {
+    if (!options.filter.empty() &&
+        name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    std::fprintf(stderr, "bench: %-40s ", name.c_str());
+    std::fflush(stderr);
+    BenchResult result = MeasureBenchmark(name, fn, options);
+    std::fprintf(stderr, "%12.1f ns/iter (mad %.1f, %llu iters x %d reps)\n",
+                 result.median_ns, result.mad_ns,
+                 static_cast<unsigned long long>(result.iterations),
+                 result.reps);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string BenchSuiteToJson(std::string_view suite,
+                             const std::vector<BenchResult>& results,
+                             const BenchOptions& options) {
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  const obs::HostInfo host = obs::GetHostInfo();
+
+  std::string out;
+  out += "{\n";
+  // No space after the colon: obs::Jsonl*Field (the loader) matches the
+  // exact `"key":` byte sequence the sink emits.
+  out += StrFormat("  \"schema\":\"%s\",\n",
+                   std::string(kBenchSchema).c_str());
+  out += StrFormat("  \"suite\":\"%s\",\n",
+                   JsonEscape(suite).c_str());
+  out += StrFormat("  \"t_ms\":%llu,\n",
+                   static_cast<unsigned long long>(WallUnixMillis()));
+  out += StrFormat("  \"quick\":%s,\n",
+                   options.min_rep_seconds < 0.05 ? "true" : "false");
+  out += StrFormat("  \"reps\":%d,\n", options.reps);
+  out += StrFormat(
+      "  \"build\":{\"version\":\"%s\",\"git_sha\":\"%s\","
+      "\"git_describe\":\"%s\",\"compiler\":\"%s %s\","
+      "\"build_type\":\"%s\",\"sanitize\":\"%s\",\"obs\":%s},\n",
+      JsonEscape(build.version).c_str(), JsonEscape(build.git_sha).c_str(),
+      JsonEscape(build.git_describe).c_str(),
+      JsonEscape(build.compiler_id).c_str(),
+      JsonEscape(build.compiler_version).c_str(),
+      JsonEscape(build.build_type).c_str(), JsonEscape(build.sanitize).c_str(),
+      build.obs_compiled ? "true" : "false");
+  out += StrFormat(
+      "  \"host\":{\"hostname\":\"%s\",\"cpus\":%lld,"
+      "\"page_size\":%lld},\n",
+      JsonEscape(host.hostname).c_str(), static_cast<long long>(host.num_cpus),
+      static_cast<long long>(host.page_size_bytes));
+  out += "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    // One complete object per line: LoadBenchFile (and shell pipelines)
+    // parse these line-by-line without a real JSON parser.
+    out += StrFormat(
+        "    {\"name\":\"%s\",\"iterations\":%llu,\"reps\":%d,"
+        "\"median_ns\":%.3f,\"mad_ns\":%.3f,\"mean_ns\":%.3f,"
+        "\"min_ns\":%.3f,\"max_ns\":%.3f,\"items_per_sec\":%.3f}%s\n",
+        JsonEscape(r.name).c_str(),
+        static_cast<unsigned long long>(r.iterations), r.reps, r.median_ns,
+        r.mad_ns, r.mean_ns, r.min_ns, r.max_ns, r.items_per_sec,
+        i + 1 < results.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status WriteBenchFile(const std::string& path, std::string_view suite,
+                      const std::vector<BenchResult>& results,
+                      const BenchOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << BenchSuiteToJson(suite, results, options);
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BenchSuite> LoadBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  BenchSuite suite;
+  for (std::string line; std::getline(in, line);) {
+    if (suite.schema.empty()) {
+      if (const auto v = obs::JsonlStringField(line, "schema")) {
+        suite.schema = *v;
+      }
+    }
+    if (suite.suite.empty()) {
+      // Benchmark lines have "name" but never "suite"; the header line
+      // has exactly one string for this key.
+      if (const auto v = obs::JsonlStringField(line, "suite")) {
+        suite.suite = *v;
+      }
+    }
+    if (line.find("\"quick\":") != std::string::npos &&
+        line.find("true") != std::string::npos) {
+      suite.quick = true;
+    }
+    if (suite.git_sha.empty()) {
+      if (const auto v = obs::JsonlStringField(line, "git_sha")) {
+        suite.git_sha = *v;
+      }
+    }
+    if (suite.git_describe.empty()) {
+      if (const auto v = obs::JsonlStringField(line, "git_describe")) {
+        suite.git_describe = *v;
+      }
+    }
+
+    const auto median = obs::JsonlNumberField(line, "median_ns");
+    const auto name = obs::JsonlStringField(line, "name");
+    if (!median.has_value() || !name.has_value()) continue;
+    BenchResult r;
+    r.name = *name;
+    r.median_ns = *median;
+    r.mad_ns = obs::JsonlNumberField(line, "mad_ns").value_or(0.0);
+    r.mean_ns = obs::JsonlNumberField(line, "mean_ns").value_or(0.0);
+    r.min_ns = obs::JsonlNumberField(line, "min_ns").value_or(0.0);
+    r.max_ns = obs::JsonlNumberField(line, "max_ns").value_or(0.0);
+    r.items_per_sec =
+        obs::JsonlNumberField(line, "items_per_sec").value_or(0.0);
+    r.iterations = static_cast<std::uint64_t>(
+        obs::JsonlNumberField(line, "iterations").value_or(0.0));
+    r.reps = static_cast<int>(
+        obs::JsonlNumberField(line, "reps").value_or(0.0));
+    suite.benchmarks.push_back(std::move(r));
+  }
+
+  if (suite.schema != kBenchSchema) {
+    return Status::InvalidArgument(
+        path + ": not a " + std::string(kBenchSchema) + " file (schema \"" +
+        suite.schema + "\")");
+  }
+  return suite;
+}
+
+DiffReport CompareBenchSuites(const BenchSuite& baseline,
+                              const BenchSuite& current,
+                              const DiffOptions& options) {
+  DiffReport report;
+  const auto find = [](const BenchSuite& s,
+                       const std::string& name) -> const BenchResult* {
+    for (const BenchResult& r : s.benchmarks) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+
+  for (const BenchResult& base : baseline.benchmarks) {
+    DiffEntry entry;
+    entry.name = base.name;
+    entry.baseline_ns = base.median_ns;
+    const BenchResult* cur = find(current, base.name);
+    if (cur == nullptr) {
+      entry.verdict = DiffVerdict::kOnlyBaseline;
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.current_ns = cur->median_ns;
+    entry.ratio =
+        base.median_ns > 0.0 ? cur->median_ns / base.median_ns : 0.0;
+
+    // A change counts only when it clears BOTH the relative threshold and
+    // the MAD noise floor; a 15% swing inside run-to-run jitter is noise,
+    // not a regression.
+    const double noise_ns =
+        options.mad_mult * std::max(base.mad_ns, cur->mad_ns);
+    const double delta = cur->median_ns - base.median_ns;
+    if (delta > base.median_ns * options.rel_threshold &&
+        delta > noise_ns) {
+      entry.verdict = DiffVerdict::kRegression;
+      ++report.regressions;
+    } else if (-delta > base.median_ns * options.rel_threshold &&
+               -delta > noise_ns) {
+      entry.verdict = DiffVerdict::kImprovement;
+      ++report.improvements;
+    } else {
+      entry.verdict = DiffVerdict::kUnchanged;
+    }
+    report.entries.push_back(std::move(entry));
+  }
+
+  for (const BenchResult& cur : current.benchmarks) {
+    if (find(baseline, cur.name) != nullptr) continue;
+    DiffEntry entry;
+    entry.name = cur.name;
+    entry.current_ns = cur.median_ns;
+    entry.verdict = DiffVerdict::kOnlyCurrent;
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string FormatDiffReport(const DiffReport& report,
+                             const DiffOptions& options) {
+  std::string out = StrFormat(
+      "%-40s %14s %14s %8s  %s\n", "benchmark", "baseline ns", "current ns",
+      "ratio", "verdict");
+  for (const DiffEntry& e : report.entries) {
+    const char* verdict = "ok";
+    switch (e.verdict) {
+      case DiffVerdict::kUnchanged:
+        verdict = "ok";
+        break;
+      case DiffVerdict::kImprovement:
+        verdict = "IMPROVED";
+        break;
+      case DiffVerdict::kRegression:
+        verdict = "REGRESSED";
+        break;
+      case DiffVerdict::kOnlyBaseline:
+        verdict = "missing in current";
+        break;
+      case DiffVerdict::kOnlyCurrent:
+        verdict = "new";
+        break;
+    }
+    const auto ns_or_dash = [](double ns) {
+      return ns > 0.0 ? StrFormat("%14.1f", ns) : StrFormat("%14s", "-");
+    };
+    out += StrFormat("%-40s %s %s %8s  %s\n", e.name.c_str(),
+                     ns_or_dash(e.baseline_ns).c_str(),
+                     ns_or_dash(e.current_ns).c_str(),
+                     e.ratio > 0.0 ? StrFormat("%.3f", e.ratio).c_str() : "-",
+                     verdict);
+  }
+  out += StrFormat(
+      "\n%d regression(s), %d improvement(s) "
+      "(threshold %.0f%%, noise floor %.1fx MAD)\n",
+      report.regressions, report.improvements, options.rel_threshold * 100.0,
+      options.mad_mult);
+  return out;
+}
+
+}  // namespace chameleon::bench

@@ -1,0 +1,33 @@
+#ifndef CHAMELEON_OBS_ALLOC_STATS_H_
+#define CHAMELEON_OBS_ALLOC_STATS_H_
+
+#include <cstdint>
+
+/// \file alloc_stats.h
+/// Per-thread heap-allocation counters. When CHAMELEON_OBS_ENABLED,
+/// alloc_stats.cc replaces the global operator new/delete with
+/// malloc-backed versions that bump two thread-local counters, so a
+/// TraceSpan can report how many allocations (and requested bytes) a
+/// phase performed on its thread. The counters are monotonically
+/// increasing; consumers diff two samples. With observability compiled
+/// out the replacement operators are not emitted and every sample reads
+/// zero.
+
+namespace chameleon::obs {
+
+struct AllocStats {
+  /// operator new calls on this thread since it started.
+  std::uint64_t allocs = 0;
+  /// Sum of requested sizes across those calls.
+  std::uint64_t alloc_bytes = 0;
+  /// operator delete calls on this thread (frees of other threads'
+  /// allocations count here, not on the allocating thread).
+  std::uint64_t frees = 0;
+};
+
+/// Counters of the calling thread. Lock-free: plain thread-local reads.
+AllocStats ThreadAllocStats();
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_ALLOC_STATS_H_

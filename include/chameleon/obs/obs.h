@@ -50,6 +50,12 @@ struct ObsOptions {
 /// Calling it again tears the previous run down (final summary included)
 /// and starts a new one. Returns IoError when the sink path is not
 /// writable; the process is left disabled in that case.
+///
+/// The first successful init also installs abnormal-termination hooks
+/// (atexit + SIGINT/SIGTERM) that write the final run_summary and flush
+/// the sink, so a killed Monte Carlo run still leaves a usable partial
+/// record. A signal-triggered summary carries a `"signal":N` field and
+/// the process still dies by that signal afterwards.
 Status InitObservability(const ObsOptions& options = {});
 
 /// Emits the "run_summary" record (total wall time + full metrics

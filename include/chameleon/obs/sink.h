@@ -15,10 +15,15 @@
 /// \file sink.h
 /// JSONL record sinks. Every record is one JSON object per line with a
 /// "type" field:
-///   {"type":"span", "path":..., "t_ms":..., "dur_ns":..., "counters":{..}}
+///   {"type":"manifest", "tool":..., "build":{..}, "host":{..},
+///    "argv":[..], "seeds":{..}}
+///   {"type":"span", "path":..., "tid":..., "t_ms":..., "mono_ns":...,
+///    "dur_ns":..., "cpu_ns":..., "max_rss_kb":..., "minflt":...,
+///    "majflt":..., "allocs":..., "alloc_bytes":..., "counters":{..}}
 ///   {"type":"snapshot", "label":..., "t_ms":..., "metrics":{..}}
 ///   {"type":"progress", "label":..., "done":..., "total":..., ...}
-///   {"type":"run_summary", "t_ms":..., "wall_ms":..., "metrics":{..}}
+///   {"type":"run_summary", "t_ms":..., "wall_ms":..., "rusage":{..},
+///    "metrics":{..}}  — plus "signal":N when a fatal signal ended the run
 /// Writers format the line; sinks only append and are thread-safe.
 
 namespace chameleon::obs {

@@ -19,8 +19,32 @@
 /// the metrics histogram `span/<path-without-[indices]>`, so per-phase
 /// latency distributions aggregate across loop iterations while the trace
 /// keeps the individual iterations apart.
+///
+/// Each span record also carries per-phase resource accounting (deltas
+/// between open and close on the owning thread): thread CPU time, minor/
+/// major page faults, heap allocation count/bytes, plus the process peak
+/// RSS at close and a stable small thread index (`tid`) that keeps
+/// threads apart in Chrome/Perfetto traces.
 
 namespace chameleon::obs {
+
+/// Point-in-time resource sample for the calling thread. Span records
+/// report the delta of two samples (max_rss_kb excepted — the kernel only
+/// tracks the process-wide peak, so spans report the value at close).
+struct ThreadResourceSample {
+  std::uint64_t cpu_ns = 0;        ///< CLOCK_THREAD_CPUTIME_ID
+  std::uint64_t minor_faults = 0;  ///< RUSAGE_THREAD when available
+  std::uint64_t major_faults = 0;
+  std::uint64_t max_rss_kb = 0;  ///< process peak RSS (kilobytes)
+  std::uint64_t allocs = 0;      ///< thread heap allocations (count)
+  std::uint64_t alloc_bytes = 0;
+};
+
+ThreadResourceSample SampleThreadResources();
+
+/// Process-unique dense thread index, assigned on first use (main thread
+/// usually gets 1). Stable for the thread's lifetime; never reused.
+std::uint32_t CurrentThreadIndex();
 
 /// Removes every `[...]` segment: "genobf/trial[3]/sample" ->
 /// "genobf/trial/sample". Used to keep metric-name cardinality static.
@@ -76,6 +100,7 @@ class TraceSpan {
   std::string path_;
   std::uint64_t start_nanos_ = 0;
   std::uint64_t start_wall_millis_ = 0;
+  ThreadResourceSample start_resources_;
   std::vector<std::pair<std::string, std::uint64_t>> counters_;
 };
 

@@ -1,0 +1,137 @@
+#include "chameleon/obs/alloc_stats.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "chameleon/obs/obs.h"  // for CHAMELEON_OBS_ENABLED
+
+/// Replacement global allocation functions. [replacement.functions] allows
+/// a program to define these; every image linking libchameleon gets them
+/// (the archive member is pulled in because operator new is referenced
+/// everywhere). They forward to malloc/free — ASan still interposes at the
+/// malloc layer, so leak and overflow detection keep working — and only
+/// add two thread-local increments. The counters are trivially-initialized
+/// thread_locals, so touching them from inside operator new cannot recurse
+/// through dynamic TLS construction.
+
+namespace chameleon::obs {
+namespace {
+
+thread_local std::uint64_t tls_allocs = 0;
+thread_local std::uint64_t tls_alloc_bytes = 0;
+thread_local std::uint64_t tls_frees = 0;
+
+}  // namespace
+
+AllocStats ThreadAllocStats() {
+  return AllocStats{tls_allocs, tls_alloc_bytes, tls_frees};
+}
+
+}  // namespace chameleon::obs
+
+#if CHAMELEON_OBS_ENABLED
+
+namespace {
+
+void* CountedAlloc(std::size_t size) noexcept {
+  ++chameleon::obs::tls_allocs;
+  chameleon::obs::tls_alloc_bytes += size;
+  // malloc(0) may return null; operator new must return a unique pointer.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) noexcept {
+  ++chameleon::obs::tls_allocs;
+  chameleon::obs::tls_alloc_bytes += size;
+  void* ptr = nullptr;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (posix_memalign(&ptr, alignment, size != 0 ? size : 1) != 0) {
+    return nullptr;
+  }
+  return ptr;
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  ++chameleon::obs::tls_frees;
+  std::free(ptr);
+}
+
+[[noreturn]] void ThrowBadAlloc() { throw std::bad_alloc(); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = CountedAlloc(size);
+  if (ptr == nullptr) ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = CountedAlloc(size);
+  if (ptr == nullptr) ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr = CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* ptr = CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+
+#endif  // CHAMELEON_OBS_ENABLED

@@ -1,12 +1,14 @@
 #include "chameleon/obs/obs.h"
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "chameleon/obs/run_context.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -33,6 +35,68 @@ struct RetiredRuns {
 RetiredRuns& Retired() {
   static RetiredRuns* retired = new RetiredRuns();
   return *retired;
+}
+
+/// Writes the run_summary record (optionally annotated with the fatal
+/// signal number) and flushes. Claims the enabled flag, so exactly one of
+/// {explicit Shutdown, atexit hook, signal handler} finalizes a run.
+void FinalizeRun(int signal_number) {
+  if (!g_enabled.exchange(false, std::memory_order_acq_rel)) return;
+
+  RecordSink* sink;
+  std::uint64_t run_start;
+  {
+    const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+    sink = g_sink;
+    run_start = g_run_start_nanos;
+  }
+  if (sink == nullptr) return;
+
+  const double wall_ms =
+      static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
+  const ProcessUsage usage = GetProcessUsage();
+  const MetricsSnapshot snapshot = GlobalMetrics().TakeSnapshot();
+  std::string line = StrFormat(
+      "{\"type\":\"run_summary\",\"t_ms\":%llu,\"wall_ms\":%.3f",
+      static_cast<unsigned long long>(WallUnixMillis()), wall_ms);
+  if (signal_number >= 0) {
+    line += StrFormat(",\"signal\":%d", signal_number);
+  }
+  line += StrFormat(
+      ",\"rusage\":{\"user_cpu_ms\":%.3f,\"system_cpu_ms\":%.3f,"
+      "\"max_rss_kb\":%llu,\"minflt\":%llu,\"majflt\":%llu}",
+      usage.user_cpu_ms, usage.system_cpu_ms,
+      static_cast<unsigned long long>(usage.max_rss_kb),
+      static_cast<unsigned long long>(usage.minor_faults),
+      static_cast<unsigned long long>(usage.major_faults));
+  line += StrFormat(",\"metrics\":%s}", snapshot.ToJson().c_str());
+  sink->Write(line);
+  sink->Flush();
+}
+
+/// Best-effort abnormal-termination hook: a killed Monte Carlo run
+/// (Ctrl-C, job-manager SIGTERM) still leaves a final snapshot in its
+/// JSONL stream. Writing JSON from a signal handler is not async-signal-
+/// safe; this is a deliberate tooling trade-off — the alternative is
+/// losing hours of partial results, and the worst corruption is a
+/// truncated last line, which every consumer here skips.
+extern "C" void ChameleonObsSignalHandler(int sig) {
+  FinalizeRun(sig);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void AtExitFinalize() { FinalizeRun(-1); }
+
+/// Installed once per process, on first successful init.
+void InstallTerminationHooks() {
+  static const bool installed = [] {
+    std::atexit(AtExitFinalize);
+    std::signal(SIGINT, ChameleonObsSignalHandler);
+    std::signal(SIGTERM, ChameleonObsSignalHandler);
+    return true;
+  }();
+  static_cast<void>(installed);
 }
 
 }  // namespace
@@ -85,34 +149,13 @@ Status InitObservability(const ObsOptions& options) {
   }
   g_heartbeat_interval_nanos.store(options.heartbeat_interval_nanos,
                                    std::memory_order_relaxed);
+  InstallTerminationHooks();
   g_enabled.store(true, std::memory_order_release);
   CH_LOG(Info) << "observability enabled, metrics sink: " << path;
   return Status::OK();
 }
 
-void ShutdownObservability() {
-  if (!Enabled()) return;
-  g_enabled.store(false, std::memory_order_release);
-
-  RecordSink* sink;
-  std::uint64_t run_start;
-  {
-    const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
-    sink = g_sink;
-    run_start = g_run_start_nanos;
-  }
-  if (sink == nullptr) return;
-
-  const double wall_ms =
-      static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
-  const MetricsSnapshot snapshot = GlobalMetrics().TakeSnapshot();
-  sink->Write(StrFormat(
-      "{\"type\":\"run_summary\",\"t_ms\":%llu,\"wall_ms\":%.3f,"
-      "\"metrics\":%s}",
-      static_cast<unsigned long long>(WallUnixMillis()), wall_ms,
-      snapshot.ToJson().c_str()));
-  sink->Flush();
-}
+void ShutdownObservability() { FinalizeRun(-1); }
 
 void EmitSnapshot(std::string_view label) {
   if (!Enabled()) return;

@@ -1,0 +1,173 @@
+#include "chameleon/obs/run_context.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "chameleon/build_info.h"  // generated at configure time
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+namespace {
+
+std::string ReadHostname() {
+  char buffer[256] = {};
+  if (gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
+  return buffer;
+}
+
+std::uint64_t NonNegative(long value) {
+  return value > 0 ? static_cast<std::uint64_t>(value) : 0;
+}
+
+void AppendJsonStringMap(
+    std::string& out, std::string_view key,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  out += StrFormat(",\"%s\":{", std::string(key).c_str());
+  bool first = true;
+  for (const auto& [k, v] : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\":\"%s\"", JsonEscape(k).c_str(),
+                     JsonEscape(v).c_str());
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = new BuildInfo{
+      CHAMELEON_BUILD_VERSION,
+      CHAMELEON_BUILD_GIT_SHA,
+      CHAMELEON_BUILD_GIT_DESCRIBE,
+      CHAMELEON_BUILD_COMPILER_ID,
+      CHAMELEON_BUILD_COMPILER_VERSION,
+      CHAMELEON_BUILD_TYPE,
+      CHAMELEON_BUILD_CXX_FLAGS,
+      CHAMELEON_BUILD_SANITIZE,
+      CHAMELEON_BUILD_OBS_COMPILED != 0,
+  };
+  return *info;
+}
+
+HostInfo GetHostInfo() {
+  HostInfo host;
+  host.hostname = ReadHostname();
+  host.pid = static_cast<std::int64_t>(getpid());
+  host.num_cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  host.page_size_bytes = sysconf(_SC_PAGESIZE);
+  return host;
+}
+
+ProcessUsage GetProcessUsage() {
+  ProcessUsage usage;
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return usage;
+  usage.user_cpu_ms = static_cast<double>(ru.ru_utime.tv_sec) * 1e3 +
+                      static_cast<double>(ru.ru_utime.tv_usec) * 1e-3;
+  usage.system_cpu_ms = static_cast<double>(ru.ru_stime.tv_sec) * 1e3 +
+                        static_cast<double>(ru.ru_stime.tv_usec) * 1e-3;
+  usage.max_rss_kb = NonNegative(ru.ru_maxrss);
+  usage.minor_faults = NonNegative(ru.ru_minflt);
+  usage.major_faults = NonNegative(ru.ru_majflt);
+  return usage;
+}
+
+std::string VersionString(std::string_view tool) {
+  const BuildInfo& build = GetBuildInfo();
+  std::string out = StrFormat("%s (chameleon %s, %s)\n",
+                              std::string(tool).c_str(), build.version.c_str(),
+                              build.git_describe.c_str());
+  out += StrFormat("git:      %s\n", build.git_sha.c_str());
+  out += StrFormat("compiler: %s %s, %s, obs=%s%s%s\n",
+                   build.compiler_id.c_str(), build.compiler_version.c_str(),
+                   build.build_type.c_str(), build.obs_compiled ? "on" : "off",
+                   build.sanitize.empty() ? "" : ", sanitize=",
+                   build.sanitize.c_str());
+  return out;
+}
+
+RunManifest RunManifest::Capture(std::string_view tool, int argc,
+                                 const char* const* argv) {
+  RunManifest manifest;
+  manifest.tool_ = tool;
+  manifest.argv_.reserve(argc > 0 ? static_cast<std::size_t>(argc) : 0);
+  for (int i = 0; i < argc; ++i) {
+    manifest.argv_.emplace_back(argv[i] != nullptr ? argv[i] : "");
+  }
+  return manifest;
+}
+
+void RunManifest::AddSeed(std::string_view name, std::uint64_t value) {
+  seeds_.emplace_back(std::string(name), value);
+}
+
+void RunManifest::AddParam(std::string_view key, std::string_view value) {
+  params_.emplace_back(std::string(key), std::string(value));
+}
+
+std::string RunManifest::ToJsonLine() const {
+  const BuildInfo& build = GetBuildInfo();
+  const HostInfo host = GetHostInfo();
+
+  std::string out = StrFormat(
+      "{\"type\":\"manifest\",\"t_ms\":%llu,\"tool\":\"%s\"",
+      static_cast<unsigned long long>(WallUnixMillis()),
+      JsonEscape(tool_).c_str());
+
+  out += StrFormat(
+      ",\"build\":{\"version\":\"%s\",\"git_sha\":\"%s\","
+      "\"git_describe\":\"%s\",\"compiler\":\"%s %s\","
+      "\"build_type\":\"%s\",\"cxx_flags\":\"%s\",\"sanitize\":\"%s\","
+      "\"obs\":%s}",
+      JsonEscape(build.version).c_str(), JsonEscape(build.git_sha).c_str(),
+      JsonEscape(build.git_describe).c_str(),
+      JsonEscape(build.compiler_id).c_str(),
+      JsonEscape(build.compiler_version).c_str(),
+      JsonEscape(build.build_type).c_str(),
+      JsonEscape(build.cxx_flags).c_str(), JsonEscape(build.sanitize).c_str(),
+      build.obs_compiled ? "true" : "false");
+
+  out += StrFormat(
+      ",\"host\":{\"hostname\":\"%s\",\"pid\":%lld,\"cpus\":%lld,"
+      "\"page_size\":%lld}",
+      JsonEscape(host.hostname).c_str(), static_cast<long long>(host.pid),
+      static_cast<long long>(host.num_cpus),
+      static_cast<long long>(host.page_size_bytes));
+
+  out += ",\"argv\":[";
+  bool first = true;
+  for (const std::string& arg : argv_) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\"", JsonEscape(arg).c_str());
+  }
+  out += ']';
+
+  out += ",\"seeds\":{";
+  first = true;
+  for (const auto& [name, value] : seeds_) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat("\"%s\":%llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += '}';
+
+  if (!params_.empty()) AppendJsonStringMap(out, "params", params_);
+  out += '}';
+  return out;
+}
+
+void EmitRunManifest(const RunManifest& manifest) {
+  if (!Enabled()) return;
+  RecordSink* sink = GlobalSink();
+  if (sink == nullptr) return;
+  sink->Write(manifest.ToJsonLine());
+  sink->Flush();  // survive even if the run dies before the first snapshot
+}
+
+}  // namespace chameleon::obs

@@ -1,5 +1,11 @@
 #include "chameleon/obs/trace.h"
 
+#include <sys/resource.h>
+#include <time.h>
+
+#include <atomic>
+
+#include "chameleon/obs/alloc_stats.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
@@ -24,7 +30,50 @@ const TraceSpan* InnermostFor(const Tracer* tracer) {
   return nullptr;
 }
 
+std::uint64_t NonNegative(long value) {
+  return value > 0 ? static_cast<std::uint64_t>(value) : 0;
+}
+
 }  // namespace
+
+ThreadResourceSample SampleThreadResources() {
+  ThreadResourceSample sample;
+  struct timespec ts = {};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    sample.cpu_ns = static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+                    static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+  struct rusage ru = {};
+#ifdef RUSAGE_THREAD
+  const int who = RUSAGE_THREAD;
+#else
+  const int who = RUSAGE_SELF;  // process-wide fallback
+#endif
+  if (getrusage(who, &ru) == 0) {
+    sample.minor_faults = NonNegative(ru.ru_minflt);
+    sample.major_faults = NonNegative(ru.ru_majflt);
+    sample.max_rss_kb = NonNegative(ru.ru_maxrss);
+  }
+#ifdef RUSAGE_THREAD
+  // ru_maxrss under RUSAGE_THREAD is still the process peak on Linux, but
+  // re-read it process-wide to be explicit about what the field means.
+  struct rusage ru_self = {};
+  if (getrusage(RUSAGE_SELF, &ru_self) == 0) {
+    sample.max_rss_kb = NonNegative(ru_self.ru_maxrss);
+  }
+#endif
+  const AllocStats alloc = ThreadAllocStats();
+  sample.allocs = alloc.allocs;
+  sample.alloc_bytes = alloc.alloc_bytes;
+  return sample;
+}
+
+std::uint32_t CurrentThreadIndex() {
+  static std::atomic<std::uint32_t> next_index{1};
+  thread_local const std::uint32_t index =
+      next_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
 
 std::string StripPathIndices(std::string_view path) {
   std::string out;
@@ -65,8 +114,9 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
     path_ += '/';
   }
   path_ += name;
-  start_nanos_ = MonotonicNanos();
   start_wall_millis_ = WallUnixMillis();
+  start_resources_ = SampleThreadResources();
+  start_nanos_ = MonotonicNanos();
   tls_span_stack.push_back(StackEntry{tracer_, this});
 }
 
@@ -87,11 +137,30 @@ TraceSpan::~TraceSpan() {
     tracer_->metrics()->Observe("span/" + StripPathIndices(path_), duration);
   }
   if (tracer_->sink() != nullptr) {
+    const ThreadResourceSample end = SampleThreadResources();
+    const auto delta = [](std::uint64_t lo, std::uint64_t hi) {
+      return hi > lo ? hi - lo : 0;
+    };
     std::string line = StrFormat(
-        "{\"type\":\"span\",\"path\":\"%s\",\"t_ms\":%llu,\"dur_ns\":%llu",
-        JsonEscape(path_).c_str(),
+        "{\"type\":\"span\",\"path\":\"%s\",\"tid\":%u,\"t_ms\":%llu,"
+        "\"mono_ns\":%llu,\"dur_ns\":%llu,\"cpu_ns\":%llu,"
+        "\"max_rss_kb\":%llu,\"minflt\":%llu,\"majflt\":%llu,"
+        "\"allocs\":%llu,\"alloc_bytes\":%llu",
+        JsonEscape(path_).c_str(), CurrentThreadIndex(),
         static_cast<unsigned long long>(start_wall_millis_),
-        static_cast<unsigned long long>(duration));
+        static_cast<unsigned long long>(start_nanos_),
+        static_cast<unsigned long long>(duration),
+        static_cast<unsigned long long>(
+            delta(start_resources_.cpu_ns, end.cpu_ns)),
+        static_cast<unsigned long long>(end.max_rss_kb),
+        static_cast<unsigned long long>(
+            delta(start_resources_.minor_faults, end.minor_faults)),
+        static_cast<unsigned long long>(
+            delta(start_resources_.major_faults, end.major_faults)),
+        static_cast<unsigned long long>(
+            delta(start_resources_.allocs, end.allocs)),
+        static_cast<unsigned long long>(
+            delta(start_resources_.alloc_bytes, end.alloc_bytes)));
     if (!counters_.empty()) {
       line += ",\"counters\":{";
       bool first = true;

@@ -1,5 +1,6 @@
 #include "chameleon/obs/metrics.h"
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -57,6 +58,60 @@ TEST(MetricsRegistryTest, HistogramStatistics) {
   // p50 lands in the bucket holding 100 and 200 ns.
   EXPECT_LT(h->QuantileNanos(0.5), 1024.0);
   EXPECT_GT(h->QuantileNanos(0.99), 500'000.0);
+}
+
+TEST(MetricsRegistryTest, HistogramZeroAndOneShareBucketZero) {
+  MetricsRegistry registry;
+  registry.Observe("edge", 0);
+  registry.Observe("edge", 1);
+  const MetricsSnapshot snapshot = registry.TakeSnapshot();
+  const HistogramSample* h = snapshot.FindHistogram("edge");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->min_nanos, 0u);
+  EXPECT_EQ(h->max_nanos, 1u);
+  EXPECT_EQ(h->sum_nanos, 1u);
+  // Both land in bucket 0 ([0, 2)); every quantile stays inside it.
+  EXPECT_DOUBLE_EQ(h->QuantileNanos(0.0), 0.0);
+  EXPECT_LE(h->QuantileNanos(0.5), 2.0);
+  EXPECT_LE(h->QuantileNanos(1.0), 2.0);
+}
+
+TEST(MetricsRegistryTest, HistogramMaxValueClampsToLastBucket) {
+  MetricsRegistry registry;
+  registry.Observe("edge", std::numeric_limits<std::uint64_t>::max());
+  const MetricsSnapshot snapshot = registry.TakeSnapshot();
+  const HistogramSample* h = snapshot.FindHistogram("edge");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->max_nanos, std::numeric_limits<std::uint64_t>::max());
+  // The observation clamps into the final bucket; the quantile estimate
+  // stays within that bucket's [lo, hi) range rather than overflowing.
+  const double lo = static_cast<double>(1ull << (kHistogramBuckets - 1));
+  const double hi = static_cast<double>(2ull << (kHistogramBuckets - 1));
+  EXPECT_GE(h->QuantileNanos(1.0), lo);
+  EXPECT_LE(h->QuantileNanos(1.0), hi);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentileEndpoints) {
+  MetricsRegistry registry;
+  registry.Observe("edge", 100);
+  registry.Observe("edge", 200);
+  registry.Observe("edge", 1'000'000);
+  const MetricsSnapshot snapshot = registry.TakeSnapshot();
+  const HistogramSample* h = snapshot.FindHistogram("edge");
+  ASSERT_NE(h, nullptr);
+  // p0 = lower edge of the first occupied bucket (64 <= 100).
+  EXPECT_LE(h->QuantileNanos(0.0), 100.0);
+  EXPECT_GT(h->QuantileNanos(0.0), 0.0);
+  // p50 stays with the two small observations, p100 reaches the bucket
+  // holding the outlier (2^19 <= 1e6 < 2^20).
+  EXPECT_LT(h->QuantileNanos(0.5), 1024.0);
+  EXPECT_GE(h->QuantileNanos(1.0), 1'000'000.0 / 2.0);
+  EXPECT_LE(h->QuantileNanos(1.0), 2'097'152.0);
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(h->QuantileNanos(-1.0), h->QuantileNanos(0.0));
+  EXPECT_DOUBLE_EQ(h->QuantileNanos(2.0), h->QuantileNanos(1.0));
 }
 
 TEST(MetricsRegistryTest, ConcurrentCountsAreExact) {

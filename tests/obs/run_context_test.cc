@@ -1,0 +1,87 @@
+#include "chameleon/obs/run_context.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/obs/sink.h"
+
+namespace chameleon::obs {
+namespace {
+
+TEST(BuildInfoTest, ConfigureTimeFieldsArePopulated) {
+  const BuildInfo& build = GetBuildInfo();
+  EXPECT_FALSE(build.version.empty());
+  EXPECT_FALSE(build.compiler_id.empty());
+  EXPECT_FALSE(build.compiler_version.empty());
+  // Git fields fall back to "unknown" outside a checkout, never "".
+  EXPECT_FALSE(build.git_sha.empty());
+  EXPECT_FALSE(build.git_describe.empty());
+#if CHAMELEON_OBS_ENABLED
+  EXPECT_TRUE(build.obs_compiled);
+#else
+  EXPECT_FALSE(build.obs_compiled);
+#endif
+}
+
+TEST(HostInfoTest, DescribesTheRunningProcess) {
+  const HostInfo host = GetHostInfo();
+  EXPECT_FALSE(host.hostname.empty());
+  EXPECT_GT(host.pid, 0);
+  EXPECT_GT(host.num_cpus, 0);
+  EXPECT_GT(host.page_size_bytes, 0);
+}
+
+TEST(ProcessUsageTest, ReportsNonZeroPeakRss) {
+  const ProcessUsage usage = GetProcessUsage();
+  EXPECT_GT(usage.max_rss_kb, 0u);
+  EXPECT_GE(usage.user_cpu_ms, 0.0);
+}
+
+TEST(VersionStringTest, NamesToolAndCompiler) {
+  const std::string text = VersionString("some_tool");
+  EXPECT_NE(text.find("some_tool"), std::string::npos);
+  EXPECT_NE(text.find(GetBuildInfo().compiler_id), std::string::npos);
+  EXPECT_NE(text.find(GetBuildInfo().git_sha), std::string::npos);
+}
+
+TEST(RunManifestTest, CapturesArgvSeedsAndParams) {
+  const char* argv[] = {"tool_binary", "--worlds=100", "--seed=7"};
+  RunManifest manifest = RunManifest::Capture("my_tool", 3, argv);
+  manifest.AddSeed("rng", 7);
+  manifest.AddSeed("shuffle", 99);
+  manifest.AddParam("dataset", "petster");
+
+  EXPECT_EQ(manifest.tool(), "my_tool");
+  ASSERT_EQ(manifest.argv().size(), 3u);
+  EXPECT_EQ(manifest.argv()[1], "--worlds=100");
+
+  const std::string line = manifest.ToJsonLine();
+  EXPECT_EQ(*JsonlStringField(line, "type"), "manifest");
+  EXPECT_EQ(*JsonlStringField(line, "tool"), "my_tool");
+  EXPECT_TRUE(JsonlNumberField(line, "t_ms").has_value());
+
+  // Build + host provenance are embedded.
+  EXPECT_EQ(*JsonlStringField(line, "git_sha"), GetBuildInfo().git_sha);
+  EXPECT_EQ(*JsonlStringField(line, "hostname"), GetHostInfo().hostname);
+
+  // Seeds and params survive as flat JSON objects.
+  EXPECT_NE(line.find("\"seeds\":{\"rng\":7,\"shuffle\":99}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"dataset\":\"petster\""), std::string::npos);
+  EXPECT_NE(line.find("--worlds=100"), std::string::npos);
+}
+
+TEST(RunManifestTest, EscapesSpecialCharacters) {
+  const char* argv[] = {"tool", "--path=a\"b\\c"};
+  RunManifest manifest = RunManifest::Capture("t", 2, argv);
+  manifest.AddParam("note", "line1\nline2");
+  const std::string line = manifest.ToJsonLine();
+  // The raw quote/backslash/newline never appear unescaped.
+  EXPECT_EQ(line.find("a\"b\\c"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

@@ -1,0 +1,90 @@
+// Benchmark regression gate:
+//
+//   chameleon_bench_diff BENCH_baseline.json BENCH_current.json
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression, 2 = usage
+// or I/O error. A benchmark regresses when its median slows down by more
+// than --threshold AND the delta exceeds --mad_mult times the larger MAD
+// of the two runs, so run-to-run jitter on a noisy host cannot fail CI on
+// its own.
+
+#include <cstdio>
+
+#include "chameleon/obs/run_context.h"
+#include "chameleon/util/flags.h"
+#include "harness.h"
+
+namespace chameleon {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "chameleon_bench_diff: compare two BENCH_<suite>.json files and fail "
+      "on perf regressions\n"
+      "usage: chameleon_bench_diff [flags] <baseline.json> <current.json>");
+  flags.AddDouble("threshold", 0.10,
+                  "relative slowdown counted as a regression");
+  flags.AddDouble("mad_mult", 3.0,
+                  "noise floor: delta must exceed mad_mult * max(MAD)");
+  flags.AddBool("version", false, "print build provenance and exit");
+  flags.AddBool("help", false, "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s",
+                 obs::VersionString("chameleon_bench_diff").c_str());
+    return 0;
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "error: expected <baseline.json> <current.json>\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  const Result<bench::BenchSuite> baseline =
+      bench::LoadBenchFile(flags.positional()[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error: %s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  const Result<bench::BenchSuite> current =
+      bench::LoadBenchFile(flags.positional()[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "error: %s\n", current.status().ToString().c_str());
+    return 2;
+  }
+
+  if (baseline->suite != current->suite) {
+    std::fprintf(stderr, "warning: comparing suite \"%s\" to \"%s\"\n",
+                 baseline->suite.c_str(), current->suite.c_str());
+  }
+  std::fprintf(stdout, "baseline: %s (%s)\ncurrent:  %s (%s)\n\n",
+               flags.positional()[0].c_str(),
+               baseline->git_describe.empty() ? "?"
+                                             : baseline->git_describe.c_str(),
+               flags.positional()[1].c_str(),
+               current->git_describe.empty() ? "?"
+                                            : current->git_describe.c_str());
+
+  bench::DiffOptions options;
+  options.rel_threshold = flags.GetDouble("threshold");
+  options.mad_mult = flags.GetDouble("mad_mult");
+  const bench::DiffReport report =
+      bench::CompareBenchSuites(*baseline, *current, options);
+  std::fprintf(stdout, "%s",
+               bench::FormatDiffReport(report, options).c_str());
+  return report.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }

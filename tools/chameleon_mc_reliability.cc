@@ -8,6 +8,7 @@
 //       --metrics_out=run.jsonl
 //   chameleon_obs_dump run.jsonl
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_set>
@@ -17,6 +18,7 @@
 #include "chameleon/graph/io.h"
 #include "chameleon/graph/uncertain_graph.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/run_context.h"
 #include "chameleon/reliability/reliability.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/logging.h"
@@ -73,6 +75,7 @@ int Run(int argc, char** argv) {
                   "JSONL metrics/trace sink (also: $CHAMELEON_METRICS)");
   flags.AddBool("connected_pairs", true,
                 "also estimate E[#connected pairs]");
+  flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
   if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
@@ -84,6 +87,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stdout, "%s", flags.Usage().c_str());
     return 0;
   }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s",
+                 obs::VersionString("chameleon_mc_reliability").c_str());
+    return 0;
+  }
 
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
@@ -91,6 +99,17 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
+
+  // First record of the stream: full run provenance (build, argv, seed).
+  obs::RunManifest manifest =
+      obs::RunManifest::Capture("chameleon_mc_reliability", argc, argv);
+  manifest.AddSeed("rng", static_cast<std::uint64_t>(flags.GetInt64("seed")));
+  manifest.AddParam("worlds", StrFormat("%lld", static_cast<long long>(
+                                                    flags.GetInt64("worlds"))));
+  manifest.AddParam("graph", flags.GetString("graph").empty()
+                                 ? "random"
+                                 : flags.GetString("graph"));
+  obs::EmitRunManifest(manifest);
 
   Rng rng(static_cast<std::uint64_t>(flags.GetInt64("seed")));
   Result<graph::UncertainGraph> graph = [&]() -> Result<graph::UncertainGraph> {

@@ -2,13 +2,15 @@
 // --metrics_out= or $CHAMELEON_METRICS) as a per-phase timing table:
 //
 //   $ chameleon_obs_dump run.jsonl
-//   phase                                   calls   total ms    mean ms   %run
-//   reliability/two_terminal                    1     812.44     812.44   74.1
-//   reliability/two_terminal/sample_worlds      1     811.90     811.90   74.0
+//   manifest: chameleon_mc_reliability v0-3-g7904802 on hostname (seed rng=2018)
+//   phase                                   calls   total ms    self ms     cpu ms   %run
+//   reliability/two_terminal                    1     812.44       0.54     811.02   74.1
 //   ...
+//   critical path: reliability/two_terminal > sample_worlds (811.90 ms)
 //
-// plus the final run summary's counters. The bench harness consumes the
-// same table to attribute experiment wall time to pipeline phases.
+// "self" is total minus the time attributed to direct child phases; "cpu"
+// is thread CPU time from the span's resource sample. The final run
+// summary's counters and process rusage close the report.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "chameleon/obs/run_context.h"
 #include "chameleon/obs/sink.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/status.h"
@@ -28,6 +31,8 @@ namespace {
 struct PhaseAggregate {
   std::uint64_t calls = 0;
   double total_ns = 0.0;
+  double self_ns = 0.0;  ///< computed after loading: total - direct children
+  double cpu_ns = 0.0;
   double max_ns = 0.0;
 };
 
@@ -38,6 +43,8 @@ struct DumpResult {
   std::size_t span_records = 0;
   std::size_t progress_records = 0;
   std::size_t snapshot_records = 0;
+  std::string manifest_line;  ///< raw manifest record, "" when absent
+  std::string summary_line;   ///< raw run_summary record, for rusage
 };
 
 /// Pulls every `"name":value` pair out of the run summary's "counters"
@@ -69,6 +76,28 @@ void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
   }
 }
 
+/// Self time: a phase's total minus the time attributed to nested phases
+/// (clamped at 0 — overlapping spans can over-subtract). Each phase
+/// charges its nearest *present* ancestor, so a gap in the hierarchy
+/// (e.g. `a/b/x/y` with no `a/b/x` span) still debits `a/b`.
+void ComputeSelfTimes(std::map<std::string, PhaseAggregate>* phases) {
+  std::map<std::string, double> children_ns;
+  for (const auto& [path, agg] : *phases) {
+    std::string ancestor = path;
+    for (std::size_t slash = ancestor.rfind('/');
+         slash != std::string::npos; slash = ancestor.rfind('/')) {
+      ancestor.resize(slash);
+      if (phases->count(ancestor) > 0) {
+        children_ns[ancestor] += agg.total_ns;
+        break;
+      }
+    }
+  }
+  for (auto& [path, agg] : *phases) {
+    agg.self_ns = std::max(0.0, agg.total_ns - children_ns[path]);
+  }
+}
+
 Result<DumpResult> Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
@@ -85,6 +114,7 @@ Result<DumpResult> Load(const std::string& path) {
       PhaseAggregate& agg = out.phases[*span_path];
       ++agg.calls;
       agg.total_ns += *dur;
+      agg.cpu_ns += obs::JsonlNumberField(line, "cpu_ns").value_or(0.0);
       agg.max_ns = std::max(agg.max_ns, *dur);
     } else if (*type == "progress") {
       ++out.progress_records;
@@ -93,19 +123,102 @@ Result<DumpResult> Load(const std::string& path) {
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
       if (wall.has_value()) out.run_wall_ms = *wall;
+      out.summary_line = line;
       ExtractSummaryCounters(line, &out);
+    } else if (*type == "manifest" && out.manifest_line.empty()) {
+      out.manifest_line = line;
     }
   }
+  ComputeSelfTimes(&out.phases);
   return out;
+}
+
+void PrintManifest(const std::string& line) {
+  const auto tool = obs::JsonlStringField(line, "tool");
+  const auto describe = obs::JsonlStringField(line, "git_describe");
+  const auto hostname = obs::JsonlStringField(line, "hostname");
+  std::string text = "manifest: " + tool.value_or("?");
+  if (describe.has_value()) text += " " + *describe;
+  if (hostname.has_value()) text += " on " + *hostname;
+  // Seeds live in a flat `"seeds":{"name":value,...}` object.
+  const std::size_t seeds = line.find("\"seeds\":{");
+  if (seeds != std::string::npos) {
+    const std::size_t open = seeds + 8;
+    const std::size_t close = line.find('}', open);
+    if (close != std::string::npos && close > open + 1) {
+      std::string inner = line.substr(open + 1, close - open - 1);
+      if (!inner.empty()) {
+        std::string cleaned;
+        for (const char c : inner) {
+          if (c != '"') cleaned += c;
+        }
+        text += " (seed " + cleaned + ")";
+      }
+    }
+  }
+  std::printf("%s\n", text.c_str());
+}
+
+/// Walks the phase tree from the heaviest root, always descending into
+/// the child with the largest total. Parentage is "nearest present
+/// ancestor", matching ComputeSelfTimes.
+void PrintCriticalPath(const std::map<std::string, PhaseAggregate>& phases) {
+  std::map<std::string, std::string> parent;
+  for (const auto& [path, agg] : phases) {
+    std::string ancestor = path;
+    for (std::size_t slash = ancestor.rfind('/');
+         slash != std::string::npos; slash = ancestor.rfind('/')) {
+      ancestor.resize(slash);
+      if (phases.count(ancestor) > 0) {
+        parent[path] = ancestor;
+        break;
+      }
+    }
+  }
+
+  std::string current;
+  double best = -1.0;
+  for (const auto& [path, agg] : phases) {
+    if (parent.count(path) == 0 && agg.total_ns > best) {
+      best = agg.total_ns;
+      current = path;
+    }
+  }
+  if (current.empty()) return;
+
+  std::string text = current;
+  while (true) {
+    std::string next;
+    double next_best = -1.0;
+    for (const auto& [path, agg] : phases) {
+      const auto it = parent.find(path);
+      if (it != parent.end() && it->second == current &&
+          agg.total_ns > next_best) {
+        next_best = agg.total_ns;
+        next = path;
+      }
+    }
+    if (next.empty()) break;
+    text += " > " + next.substr(current.size() + 1);
+    current = next;
+  }
+  std::printf("\ncritical path: %s (%.3f ms)\n", text.c_str(),
+              phases.at(current).total_ns * 1e-6);
 }
 
 void PrintReport(const DumpResult& dump, const std::string& sort_key,
                  std::int64_t top) {
+  if (!dump.manifest_line.empty()) PrintManifest(dump.manifest_line);
+
   std::vector<std::pair<std::string, PhaseAggregate>> rows(
       dump.phases.begin(), dump.phases.end());
   if (sort_key == "total") {
     std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
       return a.second.total_ns > b.second.total_ns;
+    });
+  } else if (sort_key == "self") {
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.self_ns > b.second.self_ns;
     });
   } else if (sort_key == "calls") {
     std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
@@ -124,17 +237,19 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
     for (const auto& [path, agg] : rows) run_ns = std::max(run_ns, agg.total_ns);
   }
 
-  std::printf("%-*s %8s %11s %10s %10s %6s\n", static_cast<int>(width),
-              "phase", "calls", "total ms", "mean ms", "max ms", "%run");
+  std::printf("%-*s %8s %11s %10s %10s %10s %6s\n", static_cast<int>(width),
+              "phase", "calls", "total ms", "self ms", "cpu ms", "max ms",
+              "%run");
   for (const auto& [path, agg] : rows) {
-    const double mean_ns =
-        agg.calls > 0 ? agg.total_ns / static_cast<double>(agg.calls) : 0.0;
-    std::printf("%-*s %8llu %11.3f %10.3f %10.3f %6.1f\n",
+    std::printf("%-*s %8llu %11.3f %10.3f %10.3f %10.3f %6.1f\n",
                 static_cast<int>(width), path.c_str(),
                 static_cast<unsigned long long>(agg.calls),
-                agg.total_ns * 1e-6, mean_ns * 1e-6, agg.max_ns * 1e-6,
+                agg.total_ns * 1e-6, agg.self_ns * 1e-6, agg.cpu_ns * 1e-6,
+                agg.max_ns * 1e-6,
                 run_ns > 0.0 ? 100.0 * agg.total_ns / run_ns : 0.0);
   }
+
+  PrintCriticalPath(dump.phases);
 
   if (!dump.summary_counters.empty()) {
     std::printf("\nrun summary counters:\n");
@@ -145,6 +260,17 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
     for (const auto& [name, value] : dump.summary_counters) {
       std::printf("  %-*s %15.0f\n", static_cast<int>(cwidth), name.c_str(),
                   value);
+    }
+  }
+  if (!dump.summary_line.empty()) {
+    const auto user = obs::JsonlNumberField(dump.summary_line, "user_cpu_ms");
+    const auto sys =
+        obs::JsonlNumberField(dump.summary_line, "system_cpu_ms");
+    const auto rss = obs::JsonlNumberField(dump.summary_line, "max_rss_kb");
+    if (user.has_value() || rss.has_value()) {
+      std::printf("\nprocess rusage: user %.1f ms, system %.1f ms, "
+                  "peak rss %.0f kb\n",
+                  user.value_or(0.0), sys.value_or(0.0), rss.value_or(0.0));
     }
   }
   if (dump.run_wall_ms >= 0.0) {
@@ -160,8 +286,9 @@ int Run(int argc, char** argv) {
       "chameleon_obs_dump: per-phase timing table from a metrics JSONL "
       "file");
   flags.AddString("input", "", "metrics JSONL path (or first positional)");
-  flags.AddString("sort", "total", "row order: total | calls | path");
+  flags.AddString("sort", "total", "row order: total | self | calls | path");
   flags.AddInt64("top", 0, "show only the top N phases (0 = all)");
+  flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
   if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
@@ -171,6 +298,11 @@ int Run(int argc, char** argv) {
   }
   if (flags.GetBool("help")) {
     std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s",
+                 obs::VersionString("chameleon_obs_dump").c_str());
     return 0;
   }
   std::string path = flags.GetString("input");

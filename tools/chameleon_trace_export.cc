@@ -1,0 +1,73 @@
+// Converts a chameleon metrics JSONL stream into Chrome trace-event JSON
+// loadable by chrome://tracing and https://ui.perfetto.dev:
+//
+//   chameleon_mc_reliability --metrics_out=run.jsonl ...
+//   chameleon_trace_export run.jsonl run.trace.json
+//
+// Spans become "X" complete events on the monotonic timeline (one track
+// per thread), snapshots become instant markers, progress heartbeats
+// become counter tracks, and the run manifest names the process and lands
+// in the trace's otherData.
+
+#include <cstdio>
+
+#include "chameleon/obs/run_context.h"
+#include "chameleon/obs/trace_export.h"
+#include "chameleon/util/flags.h"
+
+namespace chameleon {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "chameleon_trace_export: convert a metrics JSONL stream to Chrome "
+      "trace-event JSON (chrome://tracing, ui.perfetto.dev)\n"
+      "usage: chameleon_trace_export <metrics.jsonl> <out.trace.json>");
+  flags.AddBool("version", false, "print build provenance and exit");
+  flags.AddBool("help", false, "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s",
+                 obs::VersionString("chameleon_trace_export").c_str());
+    return 0;
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "error: expected <metrics.jsonl> <out.trace.json>\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  const Result<obs::TraceExportStats> stats = obs::ExportChromeTrace(
+      flags.positional()[0], flags.positional()[1]);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stdout,
+               "wrote %s: %zu spans, %zu snapshots, %zu progress events%s"
+               "%s\n",
+               flags.positional()[1].c_str(), stats->spans, stats->snapshots,
+               stats->progress,
+               stats->saw_manifest ? ", manifest" : ", no manifest",
+               stats->skipped_lines > 0 ? " (some lines skipped)" : "");
+  if (stats->skipped_lines > 0) {
+    std::fprintf(stderr, "warning: skipped %zu non-record lines\n",
+                 stats->skipped_lines);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }
