@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/convergence.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/reliability/reliability.h"
 #include "chameleon/reliability/world_sampler.h"
@@ -132,6 +133,51 @@ void BM_PairSetReliability500n8p(bench::BenchContext& context) {
   }
 }
 CHAMELEON_BENCHMARK(BM_PairSetReliability500n8p);
+
+// --------------------------------------------------------------------------
+// convergence_add_4k: 4096 Bernoulli samples through a ConvergenceTracker
+// with no sink — the per-sample bookkeeping an estimator pays for
+// telemetry-only tracking.
+// --------------------------------------------------------------------------
+void BM_ConvergenceAdd4k(bench::BenchContext& context) {
+  constexpr std::size_t kSamples = 4096;
+  context.SetItemsPerIteration(kSamples);
+  Rng rng(kSeed);
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    obs::ConvergenceOptions options;
+    options.use_global_sink = false;
+    options.bernoulli = true;
+    obs::ConvergenceTracker tracker("bench/convergence_add", options);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      tracker.AddBernoulli(rng.UniformDouble() < 0.5);
+    }
+    bench::DoNotOptimize(tracker.Snapshot().samples);
+  }
+}
+CHAMELEON_BENCHMARK(BM_ConvergenceAdd4k);
+
+// --------------------------------------------------------------------------
+// mc_two_terminal_tracked_500n_64w: the BM_McTwoTerminal500n64w workload
+// with a stopping rule configured (but unreachable within the world
+// budget), so every world pays tracker.AddBernoulli + ShouldStop. Diff
+// against the untracked twin for the adaptive-estimation overhead.
+// --------------------------------------------------------------------------
+void BM_McTwoTerminalTracked500n64w(bench::BenchContext& context) {
+  const graph::UncertainGraph graph = BuildGraph(500, 6.0);
+  rel::MonteCarloOptions options;
+  options.worlds = 64;
+  options.heartbeat = false;
+  options.target_ci_halfwidth = 1e-9;  // never satisfied at 64 worlds
+  options.min_samples = 2;
+  context.SetItemsPerIteration(options.worlds);
+  Rng rng(kSeed);
+  for (std::uint64_t i = 0; i < context.iterations(); ++i) {
+    const auto r =
+        rel::EstimateTwoTerminalReliability(graph, 0, 1, options, rng);
+    bench::DoNotOptimize(r.value().worlds);
+  }
+}
+CHAMELEON_BENCHMARK(BM_McTwoTerminalTracked500n64w);
 
 int Run(int argc, char** argv) {
   FlagSet flags(

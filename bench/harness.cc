@@ -10,6 +10,7 @@
 
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/sink.h"
+#include "chameleon/util/stats.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
 
@@ -98,12 +99,17 @@ BenchResult MeasureBenchmark(std::string_view name, const BenchFn& fn,
     TimeRep(fn, iterations, nullptr);
   }
 
+  // The vector feeds the order statistics (median/MAD); the shared
+  // Welford accumulator supplies mean/min/max in one pass.
   std::vector<double> per_iter_ns;
   per_iter_ns.reserve(static_cast<std::size_t>(std::max(options.reps, 1)));
+  RunningStats rep_stats;
   for (int i = 0; i < std::max(options.reps, 1); ++i) {
     const std::uint64_t elapsed = TimeRep(fn, iterations, &items);
-    per_iter_ns.push_back(static_cast<double>(elapsed) /
-                          static_cast<double>(iterations));
+    const double ns = static_cast<double>(elapsed) /
+                      static_cast<double>(iterations);
+    per_iter_ns.push_back(ns);
+    rep_stats.Add(ns);
   }
 
   BenchResult result;
@@ -112,11 +118,9 @@ BenchResult MeasureBenchmark(std::string_view name, const BenchFn& fn,
   result.reps = static_cast<int>(per_iter_ns.size());
   result.median_ns = Median(per_iter_ns);
   result.mad_ns = MedianAbsDeviation(per_iter_ns, result.median_ns);
-  result.min_ns = *std::min_element(per_iter_ns.begin(), per_iter_ns.end());
-  result.max_ns = *std::max_element(per_iter_ns.begin(), per_iter_ns.end());
-  double sum = 0.0;
-  for (const double v : per_iter_ns) sum += v;
-  result.mean_ns = sum / static_cast<double>(per_iter_ns.size());
+  result.min_ns = rep_stats.min();
+  result.max_ns = rep_stats.max();
+  result.mean_ns = rep_stats.mean();
   if (items > 0 && result.median_ns > 0.0) {
     result.items_per_sec =
         static_cast<double>(items) / (result.median_ns * 1e-9);

@@ -1,0 +1,95 @@
+// Measures the per-sample cost of the convergence tracker against the
+// dormant-overhead envelope (ISSUE budget: tracker emission must keep
+// instrumented estimators within the < 2% dormant budget). Variants:
+//   raw          — bare RunningStats::Add, the floor the tracker builds on
+//   tracker      — ConvergenceTracker::AddBernoulli, no sink attached
+//                  (the telemetry-only configuration inside estimators)
+//   tracker_sink — the same with a sink attached but thresholds pushed
+//                  out, isolating the sink-present non-emitting hot path
+//   tracker_stop — AddBernoulli + ShouldStop per sample, the adaptive
+//                  estimator loop shape
+// Compare raw vs tracker for the mutex+bookkeeping cost; tracker vs
+// tracker_stop for the price of a per-world stopping decision.
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+#include "chameleon/obs/convergence.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/stats.h"
+
+namespace {
+
+using chameleon::Rng;
+using chameleon::RunningStats;
+using chameleon::obs::ConvergenceOptions;
+using chameleon::obs::ConvergenceTracker;
+using chameleon::obs::MemorySink;
+
+constexpr std::uint64_t kNever = ~std::uint64_t{0} / 2;
+
+ConvergenceOptions QuietOptions() {
+  ConvergenceOptions options;
+  options.use_global_sink = false;
+  options.min_samples = kNever;  // no checkpoint emission
+  options.min_emit_interval_nanos = kNever;
+  return options;
+}
+
+void BM_RawWelfordAdd(benchmark::State& state) {
+  RunningStats stats;
+  Rng rng(11);
+  for (auto _ : state) {
+    stats.Add(rng.UniformDouble() < 0.5 ? 1.0 : 0.0);
+  }
+  benchmark::DoNotOptimize(stats.mean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RawWelfordAdd);
+
+void BM_TrackerAddBernoulli(benchmark::State& state) {
+  ConvergenceTracker tracker("bench/no_sink", QuietOptions());
+  Rng rng(11);
+  for (auto _ : state) {
+    tracker.AddBernoulli(rng.UniformDouble() < 0.5);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrackerAddBernoulli);
+
+void BM_TrackerAddBernoulliWithSink(benchmark::State& state) {
+  MemorySink sink;
+  ConvergenceOptions options = QuietOptions();
+  options.sink = &sink;
+  ConvergenceTracker tracker("bench/with_sink", options);
+  Rng rng(11);
+  for (auto _ : state) {
+    tracker.AddBernoulli(rng.UniformDouble() < 0.5);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrackerAddBernoulliWithSink);
+
+void BM_TrackerAddAndShouldStop(benchmark::State& state) {
+  ConvergenceOptions options = QuietOptions();
+  // An unreachable rule keeps ShouldStop on its full evaluation path
+  // without ever ending the loop early.
+  options.target_ci_halfwidth = 1e-12;
+  options.min_samples = 2;
+  options.bernoulli = true;
+  ConvergenceTracker tracker("bench/should_stop", options);
+  Rng rng(11);
+  bool stop = false;
+  for (auto _ : state) {
+    tracker.AddBernoulli(rng.UniformDouble() < 0.5);
+    stop ^= tracker.ShouldStop();
+  }
+  benchmark::DoNotOptimize(stop);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrackerAddAndShouldStop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

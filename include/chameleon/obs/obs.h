@@ -81,6 +81,10 @@ void EmitSnapshot(std::string_view label);
 /// Default heartbeat throttle configured at init.
 std::uint64_t HeartbeatIntervalNanos();
 
+/// Monotonic timestamp of the most recent InitObservability(); 0 when no
+/// run was ever initialized. Feeds the /statusz uptime line.
+std::uint64_t RunStartNanos();
+
 /// Test hook: flips the runtime switch without touching sink/tracer.
 void SetEnabledForTesting(bool enabled);
 

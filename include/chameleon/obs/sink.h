@@ -22,6 +22,10 @@
 ///    "majflt":..., "allocs":..., "alloc_bytes":..., "counters":{..}}
 ///   {"type":"snapshot", "label":..., "t_ms":..., "metrics":{..}}
 ///   {"type":"progress", "label":..., "done":..., "total":..., ...}
+///   {"type":"estimator_progress", "label":..., "t_ms":..., "samples":...,
+///    "mean":..., "stddev":..., "ci_halfwidth":..., "rel_err":...,
+///    "rate_per_s":...}  — plus "final":true,"stopped_early":bool on the
+///    record written by ConvergenceTracker::Finish()
 ///   {"type":"run_summary", "t_ms":..., "wall_ms":..., "rusage":{..},
 ///    "metrics":{..}}  — plus "signal":N when a fatal signal ended the run
 /// Writers format the line; sinks only append and are thread-safe.

@@ -50,6 +50,19 @@ std::uint32_t CurrentThreadIndex();
 /// "genobf/trial/sample". Used to keep metric-name cardinality static.
 std::string StripPathIndices(std::string_view path);
 
+/// One currently-open span, as shown by the /statusz live-span table.
+struct LiveSpanEntry {
+  std::uint32_t tid = 0;
+  std::string path;
+  std::uint64_t start_nanos = 0;
+};
+
+/// Innermost open span per thread, across all tracers. Maintained in a
+/// mutex-guarded process-global table (spans open per phase, not per
+/// sample, so the bookkeeping is off the hot path) so the status-server
+/// thread can read it mid-run.
+std::vector<LiveSpanEntry> LiveSpans();
+
 class Tracer {
  public:
   /// Neither pointer is owned; both may outlive every span. `sink` may be

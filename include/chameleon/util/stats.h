@@ -32,7 +32,10 @@ class KahanSum {
   double compensation_ = 0.0;
 };
 
-/// Welford's online mean/variance with min/max.
+/// Welford's online mean/variance with min/max. This is the project's
+/// single running-moment implementation: the Monte Carlo estimators, the
+/// convergence trackers in chameleon/obs, and the bench harness all
+/// accumulate through it rather than keeping ad-hoc sum loops.
 class RunningStats {
  public:
   void Add(double x) {
@@ -42,6 +45,26 @@ class RunningStats {
     m2_ += delta * (x - mean_);
     if (x < min_) min_ = x;
     if (x > max_) max_ = x;
+  }
+
+  /// Folds `other` into this accumulator (Chan's parallel combination of
+  /// Welford states). Equivalent to having Add()ed every one of `other`'s
+  /// samples here, up to floating-point rounding; stable at billion-scale
+  /// counts because the mean update is weighted, never re-summed.
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
   }
 
   std::size_t count() const { return count_; }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text-exposition (0.0.4) body from /metricsz.
+
+Usage: check_prometheus.py <metrics.txt>
+
+Checks line grammar (comments or `name[{labels}] value`), metric-name
+charset, that every sample is preceded by a # TYPE declaration for its
+family, and that at least one chameleon_-prefixed family is present.
+"""
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+VALUE = r"(?:[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)|[-+]?Inf|NaN)"
+SAMPLE = re.compile(rf"^({NAME})(?:\{{[^{{}}]*\}})? {VALUE}$")
+TYPE_LINE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary)$")
+
+
+def family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    declared = set()
+    families_seen = 0
+    errors = 0
+    with open(path, encoding="utf-8") as stream:
+        for lineno, raw in enumerate(stream, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                match = TYPE_LINE.match(line)
+                if match is None:
+                    if not line.startswith("# HELP "):
+                        print(f"{path}:{lineno}: bad comment: {line!r}",
+                              file=sys.stderr)
+                        errors += 1
+                    continue
+                declared.add(match.group(1))
+                # _total counters declare the suffixed name; histograms
+                # declare the family that _bucket/_sum/_count extend.
+                declared.add(family(match.group(1)))
+                families_seen += 1
+                continue
+            match = SAMPLE.match(line)
+            if match is None:
+                print(f"{path}:{lineno}: bad sample line: {line!r}",
+                      file=sys.stderr)
+                errors += 1
+                continue
+            name = match.group(1)
+            if name not in declared and family(name) not in declared:
+                print(f"{path}:{lineno}: sample {name} has no # TYPE",
+                      file=sys.stderr)
+                errors += 1
+
+    if families_seen == 0:
+        print(f"{path}: no # TYPE declarations", file=sys.stderr)
+        errors += 1
+    if not any(f.startswith("chameleon_") for f in declared):
+        print(f"{path}: no chameleon_-prefixed metrics", file=sys.stderr)
+        errors += 1
+    if errors:
+        return 1
+    print(f"prometheus lint OK: {families_seen} metric families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+#include "chameleon/obs/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+namespace {
+
+/// Live-tracker table for /statusz. Leaked on purpose (like the obs
+/// lifecycle globals) so trackers destroyed during process teardown never
+/// race a destructed mutex.
+std::mutex& TrackersMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<ConvergenceTracker*>& Trackers() {
+  static auto* trackers = new std::vector<ConvergenceTracker*>();
+  return *trackers;
+}
+
+}  // namespace
+
+double NormalCiHalfwidth(double variance, std::uint64_t n, double z) {
+  if (n == 0) return 0.0;
+  return z * std::sqrt(std::max(0.0, variance) / static_cast<double>(n));
+}
+
+double WilsonCiHalfwidth(std::uint64_t successes, std::uint64_t n, double z) {
+  if (n == 0) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nd;
+  const double z2 = z * z;
+  const double radicand = p * (1.0 - p) / nd + z2 / (4.0 * nd * nd);
+  return z * std::sqrt(radicand) / (1.0 + z2 / nd);
+}
+
+ConvergenceTracker::ConvergenceTracker(std::string_view label,
+                                       ConvergenceOptions options)
+    : label_(label),
+      options_(options),
+      start_nanos_(MonotonicNanos()),
+      next_checkpoint_(std::max<std::uint64_t>(options.min_samples, 1)) {
+  if (options_.sink == nullptr && options_.use_global_sink && Enabled()) {
+    options_.sink = GlobalSink();
+  }
+  // First time-throttled emission waits a full interval; the first
+  // checkpoint emission still fires at min_samples.
+  last_emit_nanos_ = start_nanos_;
+  const std::lock_guard<std::mutex> lock(TrackersMu());
+  Trackers().push_back(this);
+}
+
+ConvergenceTracker::~ConvergenceTracker() {
+  {
+    const std::lock_guard<std::mutex> lock(TrackersMu());
+    std::vector<ConvergenceTracker*>& trackers = Trackers();
+    trackers.erase(std::remove(trackers.begin(), trackers.end(), this),
+                   trackers.end());
+  }
+  Finish(/*stopped_early=*/false);
+}
+
+void ConvergenceTracker::Add(double x) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(x);
+  MaybeEmitLocked();
+}
+
+void ConvergenceTracker::AddBernoulli(bool success) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(success ? 1.0 : 0.0);
+  if (success) ++successes_;
+  MaybeEmitLocked();
+}
+
+bool ConvergenceTracker::ShouldStop() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ShouldStopLocked();
+}
+
+bool ConvergenceTracker::ShouldStopLocked() const {
+  if (!has_stopping_rule()) return false;
+  const std::uint64_t n = stats_.count();
+  if (n < options_.min_samples || n < 2) return false;
+  const double hw = options_.bernoulli
+                        ? WilsonCiHalfwidth(successes_, n, options_.z)
+                        : NormalCiHalfwidth(stats_.variance(), n, options_.z);
+  if (options_.target_ci_halfwidth > 0.0 &&
+      hw <= options_.target_ci_halfwidth) {
+    return true;
+  }
+  const double magnitude = std::abs(stats_.mean());
+  return options_.max_rel_err > 0.0 && magnitude > 0.0 &&
+         hw <= options_.max_rel_err * magnitude;
+}
+
+ConvergenceSnapshot ConvergenceTracker::SnapshotLocked() const {
+  ConvergenceSnapshot snapshot;
+  snapshot.label = label_;
+  snapshot.samples = stats_.count();
+  snapshot.mean = stats_.mean();
+  snapshot.stddev = stats_.stddev();
+  snapshot.ci_halfwidth =
+      options_.bernoulli
+          ? WilsonCiHalfwidth(successes_, snapshot.samples, options_.z)
+          : NormalCiHalfwidth(stats_.variance(), snapshot.samples, options_.z);
+  snapshot.rel_err = snapshot.mean != 0.0
+                         ? snapshot.ci_halfwidth / std::abs(snapshot.mean)
+                         : 0.0;
+  const double elapsed_s =
+      static_cast<double>(MonotonicNanos() - start_nanos_) * 1e-9;
+  snapshot.rate_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(snapshot.samples) / elapsed_s : 0.0;
+  snapshot.bernoulli = options_.bernoulli;
+  snapshot.finished = finished_;
+  snapshot.stopped_early = stopped_early_;
+  return snapshot;
+}
+
+ConvergenceSnapshot ConvergenceTracker::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+void ConvergenceTracker::MaybeEmitLocked() {
+  if (options_.sink == nullptr) return;
+  const std::uint64_t n = stats_.count();
+  if (n >= next_checkpoint_) {
+    while (next_checkpoint_ <= n) next_checkpoint_ *= 2;
+    last_emit_nanos_ = MonotonicNanos();
+    EmitLocked(/*final=*/false, /*stopped_early=*/false);
+    return;
+  }
+  const std::uint64_t now = MonotonicNanos();
+  if (now - last_emit_nanos_ < options_.min_emit_interval_nanos) return;
+  last_emit_nanos_ = now;
+  EmitLocked(/*final=*/false, /*stopped_early=*/false);
+}
+
+void ConvergenceTracker::EmitLocked(bool final, bool stopped_early) {
+  if (options_.sink == nullptr) return;
+  const ConvergenceSnapshot s = SnapshotLocked();
+  std::string line = StrFormat(
+      "{\"type\":\"estimator_progress\",\"label\":\"%s\",\"t_ms\":%llu,"
+      "\"samples\":%llu,\"mean\":%.9g,\"stddev\":%.9g,"
+      "\"ci_halfwidth\":%.9g,\"rel_err\":%.9g,\"rate_per_s\":%.1f",
+      JsonEscape(label_).c_str(),
+      static_cast<unsigned long long>(WallUnixMillis()),
+      static_cast<unsigned long long>(s.samples), s.mean, s.stddev,
+      s.ci_halfwidth, s.rel_err, s.rate_per_s);
+  if (final) {
+    line += StrFormat(",\"final\":true,\"stopped_early\":%s",
+                      stopped_early ? "true" : "false");
+  }
+  line += '}';
+  options_.sink->Write(line);
+  ++emit_count_;
+}
+
+void ConvergenceTracker::Finish(bool stopped_early) {
+  ConvergenceSnapshot s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    stopped_early_ = stopped_early;
+    EmitLocked(/*final=*/true, stopped_early);
+    s = SnapshotLocked();
+  }
+  // Final gauges record the stopping decision in the next snapshot /
+  // run_summary. Gauge writes go through the same runtime gate as the
+  // CHOBS_* macros.
+  if (Enabled()) {
+    MetricsRegistry& metrics = GlobalMetrics();
+    const std::string prefix = "convergence/" + label_;
+    metrics.SetGauge(prefix + "/samples", static_cast<double>(s.samples));
+    metrics.SetGauge(prefix + "/mean", s.mean);
+    metrics.SetGauge(prefix + "/ci_halfwidth", s.ci_halfwidth);
+    metrics.SetGauge(prefix + "/early_stop", stopped_early ? 1.0 : 0.0);
+  }
+}
+
+std::uint64_t ConvergenceTracker::emit_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emit_count_;
+}
+
+std::vector<ConvergenceSnapshot> LiveConvergenceSnapshots() {
+  const std::lock_guard<std::mutex> lock(TrackersMu());
+  std::vector<ConvergenceSnapshot> snapshots;
+  snapshots.reserve(Trackers().size());
+  for (const ConvergenceTracker* tracker : Trackers()) {
+    snapshots.push_back(tracker->Snapshot());
+  }
+  return snapshots;
+}
+
+void PublishConvergenceGauges() {
+  if (!Enabled()) return;
+  MetricsRegistry& metrics = GlobalMetrics();
+  for (const ConvergenceSnapshot& s : LiveConvergenceSnapshots()) {
+    const std::string prefix = "convergence/" + s.label;
+    metrics.SetGauge(prefix + "/samples", static_cast<double>(s.samples));
+    metrics.SetGauge(prefix + "/mean", s.mean);
+    metrics.SetGauge(prefix + "/ci_halfwidth", s.ci_halfwidth);
+    metrics.SetGauge(prefix + "/rate_per_s", s.rate_per_s);
+  }
+}
+
+}  // namespace chameleon::obs

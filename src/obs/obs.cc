@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chameleon/obs/run_context.h"
+#include "chameleon/obs/status_server.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -42,6 +43,14 @@ RetiredRuns& Retired() {
 /// {explicit Shutdown, atexit hook, signal handler} finalizes a run.
 void FinalizeRun(int signal_number) {
   if (!g_enabled.exchange(false, std::memory_order_acq_rel)) return;
+
+  // Shutdown ordering: the status server must stop serving before the
+  // final run_summary is composed, so a scrape can never observe a
+  // post-summary registry and a dead /statusz port implies the JSONL
+  // stream is complete. Safe from the signal handler: SIGINT/SIGTERM are
+  // blocked on the serving thread, so the handler (and this join) always
+  // runs on a worker thread.
+  StopGlobalStatusServer();
 
   RecordSink* sink;
   std::uint64_t run_start;
@@ -88,6 +97,30 @@ extern "C" void ChameleonObsSignalHandler(int sig) {
 
 void AtExitFinalize() { FinalizeRun(-1); }
 
+}  // namespace
+
+#if defined(__SANITIZE_THREAD__)
+#define CHAMELEON_OBS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CHAMELEON_OBS_TSAN 1
+#endif
+#endif
+
+#ifdef CHAMELEON_OBS_TSAN
+/// TSan's report_signal_unsafe check flags the allocations the handler
+/// above performs while composing the run_summary. That is the documented
+/// trade-off, not a race: the process is terminating and re-raises the
+/// signal immediately after. Default the check off so TSan builds exercise
+/// the termination path; TSAN_OPTIONS in the environment still overrides.
+extern "C" const char* __tsan_default_options();
+extern "C" const char* __tsan_default_options() {
+  return "report_signal_unsafe=0";
+}
+#endif
+
+namespace {
+
 /// Installed once per process, on first successful init.
 void InstallTerminationHooks() {
   static const bool installed = [] {
@@ -121,6 +154,11 @@ RecordSink* GlobalSink() {
 
 std::uint64_t HeartbeatIntervalNanos() {
   return g_heartbeat_interval_nanos.load(std::memory_order_relaxed);
+}
+
+std::uint64_t RunStartNanos() {
+  const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  return g_run_start_nanos;
 }
 
 Status InitObservability(const ObsOptions& options) {

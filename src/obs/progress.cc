@@ -1,11 +1,41 @@
 #include "chameleon/obs/progress.h"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
+
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
 
 namespace chameleon::obs {
+namespace {
+
+/// Last emission per label, for /statusz. Leaked so heartbeats finishing
+/// during process teardown never race a destructed mutex; updates are
+/// throttled to the emission interval, so the lock is off the hot path.
+std::mutex& HeartbeatsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, HeartbeatStatus>& HeartbeatTable() {
+  static auto* table = new std::map<std::string, HeartbeatStatus>();
+  return *table;
+}
+
+}  // namespace
+
+std::vector<HeartbeatStatus> LiveHeartbeats() {
+  const std::lock_guard<std::mutex> lock(HeartbeatsMu());
+  std::vector<HeartbeatStatus> statuses;
+  statuses.reserve(HeartbeatTable().size());
+  for (const auto& [label, status] : HeartbeatTable()) {
+    statuses.push_back(status);
+  }
+  return statuses;
+}
 
 ProgressHeartbeat::ProgressHeartbeat(std::string_view label,
                                      std::uint64_t total_units)
@@ -62,6 +92,12 @@ void ProgressHeartbeat::Emit(bool final) {
       has_accept
           ? static_cast<double>(accepted_) / static_cast<double>(attempted_)
           : 0.0;
+
+  {
+    const std::lock_guard<std::mutex> lock(HeartbeatsMu());
+    HeartbeatTable()[label_] =
+        HeartbeatStatus{label_, done_units_, total_units_, rate, eta_s, final};
+  }
 
   if (options_.log) {
     std::string text;

@@ -1,0 +1,356 @@
+#include "chameleon/obs/status_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "chameleon/obs/convergence.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/progress.h"
+#include "chameleon/obs/run_context.h"
+#include "chameleon/obs/trace.h"
+#include "chameleon/util/logging.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return StrFormat("%s: %s", what, std::strerror(errno));
+}
+
+/// Prometheus metric name: `chameleon_` prefix, charset [a-zA-Z0-9_:].
+std::string PromName(std::string_view name) {
+  std::string out = "chameleon_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::mutex& GlobalServerMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unique_ptr<StatusServer>& GlobalServerSlot() {
+  static auto* slot = new std::unique_ptr<StatusServer>();
+  return *slot;
+}
+
+}  // namespace
+
+std::string StatuszText() {
+  const BuildInfo& build = GetBuildInfo();
+  const HostInfo host = GetHostInfo();
+  const ProcessUsage usage = GetProcessUsage();
+  const std::uint64_t now = MonotonicNanos();
+
+  std::string text = "chameleon statusz\n";
+  text += StrFormat("build: %s (%s %s, %s, obs=%s)\n",
+                    build.git_describe.c_str(), build.compiler_id.c_str(),
+                    build.compiler_version.c_str(), build.build_type.c_str(),
+                    build.obs_compiled ? "on" : "off");
+  text += StrFormat("host: %s, pid %lld\n", host.hostname.c_str(),
+                    static_cast<long long>(host.pid));
+  text += StrFormat("obs: %s", Enabled() ? "enabled" : "disabled");
+  if (const std::uint64_t start = RunStartNanos(); start != 0 && now > start) {
+    text += StrFormat(", run uptime %.1f s",
+                      static_cast<double>(now - start) * 1e-9);
+  }
+  text += StrFormat("\nrusage: user %.1f ms, system %.1f ms, "
+                    "peak rss %llu kb\n",
+                    usage.user_cpu_ms, usage.system_cpu_ms,
+                    static_cast<unsigned long long>(usage.max_rss_kb));
+
+  text += "\nlive spans:\n";
+  const std::vector<LiveSpanEntry> spans = LiveSpans();
+  if (spans.empty()) text += "  (none)\n";
+  for (const LiveSpanEntry& span : spans) {
+    const double open_s = now > span.start_nanos
+                              ? static_cast<double>(now - span.start_nanos) *
+                                    1e-9
+                              : 0.0;
+    text += StrFormat("  tid %u  %s  (open %.1f s)\n", span.tid,
+                      span.path.c_str(), open_s);
+  }
+
+  text += "\nheartbeats:\n";
+  const std::vector<HeartbeatStatus> heartbeats = LiveHeartbeats();
+  if (heartbeats.empty()) text += "  (none)\n";
+  for (const HeartbeatStatus& hb : heartbeats) {
+    text += StrFormat("  %s: %llu", hb.label.c_str(),
+                      static_cast<unsigned long long>(hb.done));
+    if (hb.total > 0) {
+      text += StrFormat("/%llu (%.1f%%)",
+                        static_cast<unsigned long long>(hb.total),
+                        100.0 * static_cast<double>(hb.done) /
+                            static_cast<double>(hb.total));
+    }
+    text += StrFormat(", %.0f/s", hb.rate_per_s);
+    if (hb.total > hb.done && hb.rate_per_s > 0.0) {
+      text += StrFormat(", ETA %.1f s", hb.eta_s);
+    }
+    if (hb.finished) text += " [finished]";
+    text += '\n';
+  }
+
+  text += "\nestimators:\n";
+  const std::vector<ConvergenceSnapshot> estimators =
+      LiveConvergenceSnapshots();
+  if (estimators.empty()) text += "  (none)\n";
+  for (const ConvergenceSnapshot& est : estimators) {
+    text += StrFormat(
+        "  %s: n=%llu mean=%.6g ci_halfwidth=%.3g rel_err=%.3g %.0f/s%s\n",
+        est.label.c_str(), static_cast<unsigned long long>(est.samples),
+        est.mean, est.ci_halfwidth, est.rel_err, est.rate_per_s,
+        est.finished ? (est.stopped_early ? " [stopped early]" : " [done]")
+                     : "");
+  }
+  return text;
+}
+
+std::string PrometheusMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> emitted;
+  for (const CounterSample& counter : snapshot.counters) {
+    const std::string name = PromName(counter.name) + "_total";
+    if (!emitted.insert(name).second) continue;
+    out += "# TYPE " + name + " counter\n";
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter.value));
+  }
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    const std::string name = PromName(gauge.name);
+    if (!emitted.insert(name).second) continue;
+    out += "# TYPE " + name + " gauge\n";
+    out += StrFormat("%s %.9g\n", name.c_str(), gauge.value);
+  }
+  for (const HistogramSample& histogram : snapshot.histograms) {
+    // Log2 nanosecond buckets re-expressed as cumulative seconds; the
+    // last finite bucket absorbs overflow, so its count already equals
+    // the +Inf bucket.
+    const std::string name = PromName(histogram.name) + "_seconds";
+    if (!emitted.insert(name).second) continue;
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += histogram.buckets[b];
+      out += StrFormat("%s_bucket{le=\"%.9g\"} %llu\n", name.c_str(),
+                       std::ldexp(1e-9, static_cast<int>(b) + 1),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+    out += StrFormat("%s_sum %.9g\n", name.c_str(),
+                     static_cast<double>(histogram.sum_nanos) * 1e-9);
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<StatusServer>> StatusServer::Start(
+    const StatusServerOptions& options) {
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("statusz port %d out of range", options.port));
+  }
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return Status::IoError(ErrnoText("socket"));
+
+  const int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status status = Status::IoError(
+        ErrnoText(("bind " + options.bind_address).c_str()));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 8) < 0) {
+    const Status status = Status::IoError(ErrnoText("listen"));
+    ::close(listen_fd);
+    return status;
+  }
+
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const Status status = Status::IoError(ErrnoText("getsockname"));
+    ::close(listen_fd);
+    return status;
+  }
+
+  int stop_pipe[2];
+  if (::pipe2(stop_pipe, O_CLOEXEC) < 0) {
+    const Status status = Status::IoError(ErrnoText("pipe2"));
+    ::close(listen_fd);
+    return status;
+  }
+
+  std::unique_ptr<StatusServer> server(
+      new StatusServer(listen_fd, static_cast<int>(ntohs(bound.sin_port)),
+                       stop_pipe[0], stop_pipe[1]));
+  return server;
+}
+
+StatusServer::StatusServer(int listen_fd, int port, int stop_read_fd,
+                           int stop_write_fd)
+    : listen_fd_(listen_fd),
+      port_(port),
+      stop_read_fd_(stop_read_fd),
+      stop_write_fd_(stop_write_fd) {
+  thread_ = std::thread([this] { Serve(); });
+}
+
+StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  const char wake = 'x';
+  // Best effort: the pipe buffer is empty (one writer, one byte).
+  static_cast<void>(::write(stop_write_fd_, &wake, 1));
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(stop_read_fd_);
+  ::close(stop_write_fd_);
+}
+
+void StatusServer::Serve() {
+  // The obs termination hooks (which may join this thread) must run on a
+  // worker thread, never here.
+  sigset_t blocked;
+  sigemptyset(&blocked);
+  sigaddset(&blocked, SIGINT);
+  sigaddset(&blocked, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &blocked, nullptr);
+
+  for (;;) {
+    struct pollfd fds[2] = {};
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = stop_read_fd_;
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd >= 0) HandleConnection(client_fd);
+    }
+  }
+}
+
+void StatusServer::HandleConnection(int client_fd) {
+  // A stalled scraper must not wedge the serving thread.
+  struct timeval timeout = {};
+  timeout.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  std::string target;
+  if (request.compare(0, 4, "GET ") == 0) {
+    const std::size_t space = request.find(' ', 4);
+    if (space != std::string::npos) target = request.substr(4, space - 4);
+  }
+
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (target == "/statusz" || target == "/") {
+    body = StatuszText();
+  } else if (target == "/metricsz") {
+    PublishConvergenceGauges();
+    body = PrometheusMetricsText(GlobalMetrics().TakeSnapshot());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else {
+    code = 404;
+    body = "not found; try /statusz or /metricsz\n";
+  }
+
+  std::string response = StrFormat(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      code, code == 200 ? "OK" : "Not Found", content_type.c_str(),
+      body.size());
+  response += body;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(client_fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(client_fd);
+}
+
+Status StartGlobalStatusServer(const StatusServerOptions& options) {
+  Result<std::unique_ptr<StatusServer>> server = StatusServer::Start(options);
+  if (!server.ok()) return server.status();
+  std::unique_ptr<StatusServer> previous;
+  {
+    const std::lock_guard<std::mutex> lock(GlobalServerMu());
+    previous = std::move(GlobalServerSlot());
+    GlobalServerSlot() = *std::move(server);
+  }
+  previous.reset();  // joins the old serving thread outside the lock
+  CH_LOG(Info) << "statusz serving on http://" << options.bind_address << ":"
+               << GlobalStatusServer()->port() << "/statusz";
+  return Status::OK();
+}
+
+StatusServer* GlobalStatusServer() {
+  const std::lock_guard<std::mutex> lock(GlobalServerMu());
+  return GlobalServerSlot().get();
+}
+
+void StopGlobalStatusServer() {
+  std::unique_ptr<StatusServer> server;
+  {
+    const std::lock_guard<std::mutex> lock(GlobalServerMu());
+    server = std::move(GlobalServerSlot());
+  }
+  server.reset();
+}
+
+}  // namespace chameleon::obs

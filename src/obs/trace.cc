@@ -3,7 +3,10 @@
 #include <sys/resource.h>
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <unordered_map>
 
 #include "chameleon/obs/alloc_stats.h"
 #include "chameleon/obs/obs.h"
@@ -32,6 +35,21 @@ const TraceSpan* InnermostFor(const Tracer* tracer) {
 
 std::uint64_t NonNegative(long value) {
   return value > 0 ? static_cast<std::uint64_t>(value) : 0;
+}
+
+/// Open spans across all threads, keyed by span address, for the
+/// /statusz live-span table. Guarded by a leaked mutex so spans closing
+/// during process teardown never race a destructed lock. Updates happen
+/// only at span open/close (per phase, not per sample), so the lock is
+/// off the hot path.
+std::mutex& LiveSpansMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unordered_map<const TraceSpan*, LiveSpanEntry>& LiveSpanTable() {
+  static auto* table = new std::unordered_map<const TraceSpan*, LiveSpanEntry>();
+  return *table;
 }
 
 }  // namespace
@@ -91,6 +109,21 @@ std::string StripPathIndices(std::string_view path) {
   return out;
 }
 
+std::vector<LiveSpanEntry> LiveSpans() {
+  std::vector<LiveSpanEntry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(LiveSpansMu());
+    entries.reserve(LiveSpanTable().size());
+    for (const auto& [span, entry] : LiveSpanTable()) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const LiveSpanEntry& a, const LiveSpanEntry& b) {
+              return a.tid != b.tid ? a.tid < b.tid
+                                    : a.start_nanos < b.start_nanos;
+            });
+  return entries;
+}
+
 std::string Tracer::CurrentPath() const {
   const TraceSpan* span = InnermostFor(this);
   return span != nullptr ? span->path() : std::string();
@@ -118,11 +151,20 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
   start_resources_ = SampleThreadResources();
   start_nanos_ = MonotonicNanos();
   tls_span_stack.push_back(StackEntry{tracer_, this});
+  {
+    const std::lock_guard<std::mutex> lock(LiveSpansMu());
+    LiveSpanTable()[this] =
+        LiveSpanEntry{CurrentThreadIndex(), path_, start_nanos_};
+  }
 }
 
 TraceSpan::~TraceSpan() {
   if (!active()) return;
   const std::uint64_t duration = MonotonicNanos() - start_nanos_;
+  {
+    const std::lock_guard<std::mutex> lock(LiveSpansMu());
+    LiveSpanTable().erase(this);
+  }
 
   // Scoped lifetimes make span closure LIFO per thread; find-and-erase
   // from the back tolerates out-of-order destruction anyway.

@@ -134,6 +134,71 @@ TEST(PairSetTest, EmptyPairsGivesEmptyResult) {
   EXPECT_TRUE(r->empty());
 }
 
+TEST(TwoTerminalTest, RelativeErrorRuleStopsEarly) {
+  // p = 0.625 on the triangle; a 10% relative-error bound needs a few
+  // hundred worlds, far below the budget.
+  const UncertainGraph g = MakeTriangle(0.5);
+  Rng rng(2018);
+  MonteCarloOptions options = QuietOptions(500000);
+  options.max_rel_err = 0.1;
+  options.min_samples = 100;
+  const Result<ReliabilityEstimate> r =
+      EstimateTwoTerminalReliability(g, 0, 1, options, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stopped_early);
+  EXPECT_LT(r->worlds, options.worlds);
+  EXPECT_GE(r->worlds, options.min_samples);
+  EXPECT_LE(r->ci_halfwidth, options.max_rel_err * r->reliability + 1e-12);
+  EXPECT_NEAR(r->reliability, 0.625, 0.1);
+}
+
+TEST(TwoTerminalTest, WithoutRulesSamplesEveryWorld) {
+  const UncertainGraph g = MakeTriangle(0.5);
+  Rng rng(7);
+  const Result<ReliabilityEstimate> r =
+      EstimateTwoTerminalReliability(g, 0, 1, QuietOptions(2000), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->stopped_early);
+  EXPECT_EQ(r->worlds, 2000u);
+  EXPECT_GT(r->ci_halfwidth, 0.0);
+}
+
+TEST(PairSetTest, HalfwidthTargetCoversWidestPair) {
+  const UncertainGraph g = MakePath3();
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {0, 1}, {1, 2}, {0, 2}};
+  Rng rng(2018);
+  MonteCarloOptions options = QuietOptions(500000);
+  options.target_ci_halfwidth = 0.05;
+  options.min_samples = 100;
+  const Result<PairSetEstimate> r =
+      EstimatePairSetReliability(g, pairs, options, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stopped_early);
+  EXPECT_LT(r->worlds, options.worlds);
+  // The rule applies to the worst pair, so every pair meets the target.
+  EXPECT_LE(r->max_ci_halfwidth, options.target_ci_halfwidth + 1e-12);
+  ASSERT_EQ(r->reliability.size(), 3u);
+  EXPECT_NEAR(r->reliability[0], 0.8, 0.1);
+  EXPECT_NEAR(r->reliability[1], 0.5, 0.1);
+  EXPECT_NEAR(r->reliability[2], 0.4, 0.1);
+}
+
+TEST(ExpectedConnectedPairsTest, HalfwidthTargetStopsEarly) {
+  const UncertainGraph g = MakePath3();
+  Rng rng(2018);
+  MonteCarloOptions options = QuietOptions(500000);
+  options.target_ci_halfwidth = 0.05;
+  options.min_samples = 100;
+  const Result<ConnectedPairsEstimate> r =
+      ExpectedConnectedPairs(g, options, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stopped_early);
+  EXPECT_LT(r->worlds, options.worlds);
+  EXPECT_LE(r->ci_halfwidth, options.target_ci_halfwidth + 1e-12);
+  EXPECT_NEAR(r->expected_pairs, 1.7, 0.2);
+}
+
 TEST(ExpectedConnectedPairsTest, PathGraphMatchesExact) {
   // Pairs connected: {0,1} w.p. 0.8, {1,2} w.p. 0.5, {0,2} w.p. 0.4.
   // E[#connected pairs] = 1.7.

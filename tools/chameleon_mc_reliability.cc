@@ -19,6 +19,7 @@
 #include "chameleon/graph/uncertain_graph.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/run_context.h"
+#include "chameleon/obs/status_server.h"
 #include "chameleon/reliability/reliability.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/logging.h"
@@ -69,10 +70,21 @@ int Run(int argc, char** argv) {
   flags.AddDouble("p_max", 0.9, "random graph: max edge probability");
   flags.AddInt64("source", 0, "source terminal");
   flags.AddInt64("target", 1, "target terminal");
-  flags.AddInt64("worlds", 1000, "possible worlds per estimate");
+  flags.AddInt64("worlds", 1000, "max possible worlds per estimate");
   flags.AddInt64("seed", 2018, "random seed");
+  flags.AddDouble("target_ci_halfwidth", 0.0,
+                  "stop early once the 95% CI half-width reaches this "
+                  "absolute value (0 = off)");
+  flags.AddDouble("max_rel_err", 0.0,
+                  "stop early once CI half-width <= max_rel_err * estimate "
+                  "(0 = off)");
+  flags.AddInt64("min_samples", 100,
+                 "no early-stop decision before this many worlds");
   flags.AddString("metrics_out", "",
                   "JSONL metrics/trace sink (also: $CHAMELEON_METRICS)");
+  flags.AddInt64("statusz_port", -1,
+                 "serve live /statusz and /metricsz on this loopback port "
+                 "(0 = ephemeral, -1 = off)");
   flags.AddBool("connected_pairs", true,
                 "also estimate E[#connected pairs]");
   flags.AddBool("version", false, "print build provenance and exit");
@@ -95,9 +107,27 @@ int Run(int argc, char** argv) {
 
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
+  const std::int64_t statusz_port = flags.GetInt64("statusz_port");
+  if (obs_options.metrics_out.empty() && statusz_port >= 0 &&
+      std::getenv("CHAMELEON_METRICS") == nullptr) {
+    // /statusz and /metricsz render from the live obs registries, which
+    // only run when a sink exists; a discarded stream keeps them live
+    // without forcing the user to pick a metrics path.
+    obs_options.metrics_out = "/dev/null";
+  }
   if (Status s = obs::InitObservability(obs_options); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (statusz_port >= 0) {
+    obs::StatusServerOptions server_options;
+    server_options.port = static_cast<int>(statusz_port);
+    if (Status s = obs::StartGlobalStatusServer(server_options); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "statusz: http://127.0.0.1:%d/statusz\n",
+                 obs::GlobalStatusServer()->port());
   }
 
   // First record of the stream: full run provenance (build, argv, seed).
@@ -134,19 +164,24 @@ int Run(int argc, char** argv) {
 
   rel::MonteCarloOptions mc;
   mc.worlds = static_cast<std::size_t>(flags.GetInt64("worlds"));
+  mc.target_ci_halfwidth = flags.GetDouble("target_ci_halfwidth");
+  mc.max_rel_err = flags.GetDouble("max_rel_err");
+  mc.min_samples = static_cast<std::size_t>(flags.GetInt64("min_samples"));
   const auto source = static_cast<NodeId>(flags.GetInt64("source"));
   const auto target = static_cast<NodeId>(flags.GetInt64("target"));
 
-  const Result<double> reliability =
-      rel::TwoTerminalReliability(*graph, source, target, mc, rng);
+  const Result<rel::ReliabilityEstimate> reliability =
+      rel::EstimateTwoTerminalReliability(*graph, source, target, mc, rng);
   if (!reliability.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  reliability.status().ToString().c_str());
     return 1;
   }
   obs::EmitSnapshot("two_terminal");
-  std::fprintf(stdout, "R(%u, %u) = %.4f  (%zu worlds)\n", source, target,
-               *reliability, mc.worlds);
+  std::fprintf(stdout, "R(%u, %u) = %.4f +/- %.4f  (%zu worlds%s)\n", source,
+               target, reliability->reliability, reliability->ci_halfwidth,
+               reliability->worlds,
+               reliability->stopped_early ? ", stopped early" : "");
 
   if (flags.GetBool("connected_pairs")) {
     const Result<rel::ConnectedPairsEstimate> pairs =
@@ -156,8 +191,12 @@ int Run(int argc, char** argv) {
       return 1;
     }
     obs::EmitSnapshot("connected_pairs");
-    std::fprintf(stdout, "E[#connected pairs] = %.1f (stddev %.1f)\n",
-                 pairs->expected_pairs, pairs->stddev);
+    std::fprintf(stdout,
+                 "E[#connected pairs] = %.1f +/- %.1f (stddev %.1f, "
+                 "%zu worlds%s)\n",
+                 pairs->expected_pairs, pairs->ci_halfwidth, pairs->stddev,
+                 pairs->worlds,
+                 pairs->stopped_early ? ", stopped early" : "");
   }
 
   obs::ShutdownObservability();

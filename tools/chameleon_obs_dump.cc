@@ -36,13 +36,27 @@ struct PhaseAggregate {
   double max_ns = 0.0;
 };
 
+/// Last-seen state of one estimator's `estimator_progress` stream.
+struct ConvergenceRow {
+  std::uint64_t samples = 0;
+  double mean = 0.0;
+  double ci_halfwidth = 0.0;
+  double rel_err = 0.0;
+  double rate_per_s = 0.0;
+  bool final_seen = false;
+  bool stopped_early = false;
+  std::size_t records = 0;
+};
+
 struct DumpResult {
   std::map<std::string, PhaseAggregate> phases;
+  std::map<std::string, ConvergenceRow> estimators;
   std::vector<std::pair<std::string, double>> summary_counters;
   double run_wall_ms = -1.0;
   std::size_t span_records = 0;
   std::size_t progress_records = 0;
   std::size_t snapshot_records = 0;
+  std::size_t estimator_records = 0;
   std::string manifest_line;  ///< raw manifest record, "" when absent
   std::string summary_line;   ///< raw run_summary record, for rusage
 };
@@ -72,7 +86,9 @@ void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
       out->summary_counters.emplace_back(
           line.substr(key_start + 1, key_end - key_start - 1), *value);
     }
-    i = value_end + 1;
+    // Stop at the counters object's own closing brace — stepping past it
+    // would walk into the sibling "gauges"/"histograms" objects.
+    i = value_end;
   }
 }
 
@@ -118,6 +134,25 @@ Result<DumpResult> Load(const std::string& path) {
       agg.max_ns = std::max(agg.max_ns, *dur);
     } else if (*type == "progress") {
       ++out.progress_records;
+    } else if (*type == "estimator_progress") {
+      const auto label = obs::JsonlStringField(line, "label");
+      if (!label.has_value()) continue;
+      ++out.estimator_records;
+      ConvergenceRow& row = out.estimators[*label];
+      ++row.records;
+      row.samples = static_cast<std::uint64_t>(
+          obs::JsonlNumberField(line, "samples").value_or(0.0));
+      row.mean = obs::JsonlNumberField(line, "mean").value_or(0.0);
+      row.ci_halfwidth =
+          obs::JsonlNumberField(line, "ci_halfwidth").value_or(0.0);
+      row.rel_err = obs::JsonlNumberField(line, "rel_err").value_or(0.0);
+      row.rate_per_s =
+          obs::JsonlNumberField(line, "rate_per_s").value_or(0.0);
+      if (line.find("\"final\":true") != std::string::npos) {
+        row.final_seen = true;
+        row.stopped_early =
+            line.find("\"stopped_early\":true") != std::string::npos;
+      }
     } else if (*type == "snapshot") {
       ++out.snapshot_records;
     } else if (*type == "run_summary") {
@@ -251,6 +286,26 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
 
   PrintCriticalPath(dump.phases);
 
+  if (!dump.estimators.empty()) {
+    std::printf("\nestimator convergence:\n");
+    std::size_t ewidth = 9;
+    for (const auto& [label, row] : dump.estimators) {
+      ewidth = std::max(ewidth, label.size());
+    }
+    std::printf("%-*s %10s %12s %12s %9s %12s\n", static_cast<int>(ewidth),
+                "estimator", "samples", "mean", "ci half-w", "rel err",
+                "samples/s");
+    for (const auto& [label, row] : dump.estimators) {
+      std::printf("%-*s %10llu %12.6g %12.4g %9.4f %12.0f%s\n",
+                  static_cast<int>(ewidth), label.c_str(),
+                  static_cast<unsigned long long>(row.samples), row.mean,
+                  row.ci_halfwidth, row.rel_err, row.rate_per_s,
+                  row.final_seen
+                      ? (row.stopped_early ? "  [stopped early]" : "")
+                      : "  [in flight]");
+    }
+  }
+
   if (!dump.summary_counters.empty()) {
     std::printf("\nrun summary counters:\n");
     std::size_t cwidth = 5;
@@ -275,9 +330,9 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
   }
   if (dump.run_wall_ms >= 0.0) {
     std::printf("\nrun wall time: %.3f ms  (%zu spans, %zu snapshots, "
-                "%zu progress records)\n",
+                "%zu progress, %zu estimator records)\n",
                 dump.run_wall_ms, dump.span_records, dump.snapshot_records,
-                dump.progress_records);
+                dump.progress_records, dump.estimator_records);
   }
 }
 
@@ -319,7 +374,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", dump.status().ToString().c_str());
     return 1;
   }
-  if (dump->phases.empty() && dump->summary_counters.empty()) {
+  if (dump->phases.empty() && dump->summary_counters.empty() &&
+      dump->estimators.empty()) {
     std::fprintf(stderr,
                  "%s: no chameleon obs records found (is it a metrics "
                  "JSONL?)\n",

@@ -1,0 +1,192 @@
+// Tails a chameleon metrics JSONL stream and renders live progress: one
+// line per heartbeat / estimator-convergence record, ending with the run
+// summary. Point it at the file a long Monte Carlo run is writing:
+//
+//   chameleon_mc_reliability --worlds=100000000 --metrics_out=run.jsonl &
+//   chameleon_watch run.jsonl
+//   [reliability/two_terminal/sample_worlds] 1534000/100000000 (1.5%) 3.1e+06/s ETA 31.7s
+//   [reliability/two_terminal] n=2097152 mean=0.2513 ci_halfwidth=0.000587 (1.3e+06/s)
+//   ...
+//   run finished: wall 32188.4 ms
+//
+// Follows the file until a run_summary record arrives (or forever with a
+// stream that never finishes — interrupt with Ctrl-C). --once renders the
+// current contents, prints a final convergence table, and exits; use it
+// on completed runs and in scripts.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "chameleon/obs/run_context.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/status.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon {
+namespace {
+
+struct WatchState {
+  std::map<std::string, std::string> last_estimator_line;
+  std::size_t records = 0;
+  bool summary_seen = false;
+  double wall_ms = 0.0;
+};
+
+/// Renders one JSONL record as a human line; empty string for record
+/// types the watcher does not surface (spans, snapshots).
+std::string RenderRecord(const std::string& line, WatchState* state) {
+  const auto type = obs::JsonlStringField(line, "type");
+  if (!type.has_value()) return "";
+  ++state->records;
+  if (*type == "manifest") {
+    const auto tool = obs::JsonlStringField(line, "tool");
+    const auto describe = obs::JsonlStringField(line, "git_describe");
+    return StrFormat("watching %s (%s)\n", tool.value_or("?").c_str(),
+                     describe.value_or("unknown build").c_str());
+  }
+  if (*type == "progress") {
+    const auto label = obs::JsonlStringField(line, "label");
+    const double done = obs::JsonlNumberField(line, "done").value_or(0.0);
+    const double total = obs::JsonlNumberField(line, "total").value_or(0.0);
+    const double rate =
+        obs::JsonlNumberField(line, "rate_per_s").value_or(0.0);
+    const double eta = obs::JsonlNumberField(line, "eta_s").value_or(0.0);
+    std::string text = StrFormat("[%s] %.0f", label.value_or("?").c_str(),
+                                 done);
+    if (total > 0.0) {
+      text += StrFormat("/%.0f (%.1f%%)", total, 100.0 * done / total);
+    }
+    text += StrFormat(" %.3g/s", rate);
+    if (total > done && rate > 0.0) text += StrFormat(" ETA %.1fs", eta);
+    if (line.find("\"final\":true") != std::string::npos) {
+      text += " [finished]";
+    }
+    return text + "\n";
+  }
+  if (*type == "estimator_progress") {
+    const auto label = obs::JsonlStringField(line, "label");
+    const double samples =
+        obs::JsonlNumberField(line, "samples").value_or(0.0);
+    const double mean = obs::JsonlNumberField(line, "mean").value_or(0.0);
+    const double hw =
+        obs::JsonlNumberField(line, "ci_halfwidth").value_or(0.0);
+    const double rate =
+        obs::JsonlNumberField(line, "rate_per_s").value_or(0.0);
+    std::string text =
+        StrFormat("[%s] n=%.0f mean=%.6g ci_halfwidth=%.4g (%.3g/s)",
+                  label.value_or("?").c_str(), samples, mean, hw, rate);
+    if (line.find("\"final\":true") != std::string::npos) {
+      text += line.find("\"stopped_early\":true") != std::string::npos
+                  ? " [stopped early]"
+                  : " [done]";
+    }
+    state->last_estimator_line[label.value_or("?")] = text;
+    return text + "\n";
+  }
+  if (*type == "run_summary") {
+    state->summary_seen = true;
+    state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
+    std::string text = StrFormat("run finished: wall %.1f ms", state->wall_ms);
+    if (const auto signal = obs::JsonlNumberField(line, "signal");
+        signal.has_value()) {
+      text += StrFormat(" (killed by signal %.0f)", *signal);
+    }
+    return text + "\n";
+  }
+  return "";
+}
+
+void PrintConvergenceSummary(const WatchState& state) {
+  if (state.last_estimator_line.empty()) return;
+  std::printf("\nfinal estimator state:\n");
+  for (const auto& [label, text] : state.last_estimator_line) {
+    std::printf("  %s\n", text.c_str());
+  }
+}
+
+int Watch(const std::string& path, bool once, std::int64_t interval_ms) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  WatchState state;
+  std::string line;
+  for (;;) {
+    while (std::getline(in, line)) {
+      const std::string text = RenderRecord(line, &state);
+      if (!text.empty()) {
+        std::fputs(text.c_str(), stdout);
+        std::fflush(stdout);
+      }
+    }
+    if (once || state.summary_seen) break;
+    // EOF: clear the stream state and poll for appended lines.
+    in.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  if (once) {
+    PrintConvergenceSummary(state);
+    if (!state.summary_seen) {
+      std::printf("(no run_summary yet — run still in flight?)\n");
+    }
+  }
+  if (state.records == 0) {
+    std::fprintf(stderr,
+                 "%s: no chameleon obs records found (is it a metrics "
+                 "JSONL?)\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "chameleon_watch: tail a metrics JSONL stream and render live "
+      "progress");
+  flags.AddString("input", "", "metrics JSONL path (or first positional)");
+  flags.AddBool("once", false,
+                "render current contents + convergence summary, then exit");
+  flags.AddInt64("interval_ms", 500, "poll interval while following");
+  flags.AddBool("version", false, "print build provenance and exit");
+  flags.AddBool("help", false, "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    std::fprintf(stdout, "%s", obs::VersionString("chameleon_watch").c_str());
+    return 0;
+  }
+  std::string path = flags.GetString("input");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "error: no input file\n%s", flags.Usage().c_str());
+    return 2;
+  }
+  const std::int64_t interval_ms = flags.GetInt64("interval_ms");
+  if (interval_ms <= 0) {
+    std::fprintf(stderr, "error: --interval_ms must be positive\n");
+    return 2;
+  }
+  return Watch(path, flags.GetBool("once"), interval_ms);
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }
