@@ -300,6 +300,7 @@ DiffReport CompareBenchSuites(const BenchSuite& baseline,
     // not a regression.
     const double noise_ns =
         options.mad_mult * std::max(base.mad_ns, cur->mad_ns);
+    entry.noise_ns = noise_ns;
     const double delta = cur->median_ns - base.median_ns;
     if (delta > base.median_ns * options.rel_threshold &&
         delta > noise_ns) {
@@ -358,6 +359,19 @@ std::string FormatDiffReport(const DiffReport& report,
                      ns_or_dash(e.current_ns).c_str(),
                      e.ratio > 0.0 ? StrFormat("%.3f", e.ratio).c_str() : "-",
                      verdict);
+    // Failure detail: show the two gates the delta cleared, so a CI
+    // verdict is actionable without rerunning locally.
+    if (e.verdict == DiffVerdict::kRegression) {
+      const double delta = e.current_ns - e.baseline_ns;
+      out += StrFormat(
+          "%-40s   +%.1f ns (%+.1f%%) exceeds both the %.0f%% threshold "
+          "(%.1f ns) and the %.1fx-MAD noise floor (%.1f ns)\n",
+          "", delta,
+          e.baseline_ns > 0.0 ? 100.0 * delta / e.baseline_ns : 0.0,
+          options.rel_threshold * 100.0,
+          e.baseline_ns * options.rel_threshold, options.mad_mult,
+          e.noise_ns);
+    }
   }
   out += StrFormat(
       "\n%d regression(s), %d improvement(s) "

@@ -155,6 +155,11 @@ struct DiffEntry {
   double baseline_ns = 0.0;
   double current_ns = 0.0;
   double ratio = 0.0;  ///< current/baseline; 0 when either side is missing
+  /// The noise floor this comparison used:
+  /// `mad_mult * max(baseline MAD, current MAD)`. 0 when either side is
+  /// missing. Surfaced in failure messages so a CI regression verdict is
+  /// self-explanatory without rerunning locally.
+  double noise_ns = 0.0;
   DiffVerdict verdict = DiffVerdict::kUnchanged;
 };
 

@@ -1,0 +1,217 @@
+// Overhead budget check for the sampling profiler: the same Monte Carlo
+// reliability workload timed with the profiler off and then on must
+// differ by less than --budget (default 3% at the default 99 Hz).
+//
+//   micro_profiler_overhead [--hz=99] [--budget=0.03] [--out=BENCH_...json]
+//
+// Exit code 0 when the overhead is inside the budget (or inside the
+// repetition noise floor), 1 on a budget violation — CI gates on it.
+// Built with the self-contained harness (median/MAD over alternating
+// repetitions), not google-benchmark, so the gate has zero optional deps.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/profiler.h"
+#include "chameleon/reliability/reliability.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/timer.h"
+#include "harness.h"
+
+namespace chameleon {
+namespace {
+
+constexpr std::uint64_t kSeed = 2018;
+
+graph::UncertainGraph BuildGraph(NodeId nodes, double avg_degree) {
+  Rng rng(kSeed);
+  const auto target =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(nodes) / 2.0);
+  std::unordered_set<std::uint64_t> seen;
+  graph::UncertainGraphBuilder builder(nodes);
+  std::size_t added = 0;
+  while (added < target) {
+    auto u = static_cast<NodeId>(rng.UniformInt(nodes));
+    auto v = static_cast<NodeId>(rng.UniformInt(nodes));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      continue;
+    }
+    (void)builder.AddEdge(u, v, rng.Uniform(0.1, 0.9));
+    ++added;
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+/// One timed repetition of the workload: a fixed-size two-terminal MC
+/// estimate. Returns wall nanoseconds.
+double TimeWorkload(const graph::UncertainGraph& graph, std::size_t worlds) {
+  Rng rng(kSeed);
+  rel::MonteCarloOptions mc;
+  mc.worlds = worlds;
+  const std::uint64_t start = MonotonicNanos();
+  const auto estimate =
+      rel::EstimateTwoTerminalReliability(graph, 0, 1, mc, rng);
+  const std::uint64_t stop = MonotonicNanos();
+  bench::DoNotOptimize(estimate.ok() ? estimate->reliability : 0.0);
+  return static_cast<double>(stop - start);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "micro_profiler_overhead: profiler-on vs profiler-off wall-clock "
+      "budget check");
+  flags.AddInt64("hz", 99, "sampling frequency under test");
+  flags.AddDouble("budget", 0.03,
+                  "max tolerated relative overhead (0.03 = 3%)");
+  flags.AddInt64("reps", 7, "timed repetitions per configuration");
+  flags.AddInt64("nodes", 1000, "workload graph nodes");
+  flags.AddInt64("worlds", 0,
+                 "worlds per repetition (0 = auto-calibrate to ~200 ms)");
+  flags.AddString("out", "",
+                  "also write the two timings as a BENCH_*.json suite");
+  flags.AddBool("help", false, "show usage");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  // The profiler samples only threads that open spans, and spans only run
+  // with a live sink; a discarded stream makes the measurement realistic
+  // without leaving files around.
+  obs::ObsOptions obs_options;
+  obs_options.metrics_out = "/dev/null";
+  obs_options.read_env = false;
+  if (Status s = obs::InitObservability(obs_options); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  const auto graph =
+      BuildGraph(static_cast<NodeId>(flags.GetInt64("nodes")), 8.0);
+
+  std::size_t worlds = static_cast<std::size_t>(flags.GetInt64("worlds"));
+  if (worlds == 0) {
+    // Calibrate so one repetition takes ~200 ms: long enough for the
+    // 99 Hz sampler to land ~20 samples per rep, short enough for CI.
+    worlds = 512;
+    for (;;) {
+      const double ns = TimeWorkload(graph, worlds);
+      if (ns >= 100e6 || worlds >= (1u << 22)) {
+        worlds = static_cast<std::size_t>(
+            static_cast<double>(worlds) * std::max(1.0, 200e6 / ns));
+        break;
+      }
+      worlds *= 2;
+    }
+  }
+  std::fprintf(stderr, "workload: %zu worlds/rep on %lld nodes\n", worlds,
+               static_cast<long long>(flags.GetInt64("nodes")));
+
+  const int reps = static_cast<int>(flags.GetInt64("reps"));
+  const int hz = static_cast<int>(flags.GetInt64("hz"));
+  std::vector<double> off_ns;
+  std::vector<double> on_ns;
+  // Alternate off/on repetitions so slow drift (thermal, other tenants)
+  // biases both configurations equally.
+  for (int rep = 0; rep < reps; ++rep) {
+    off_ns.push_back(TimeWorkload(graph, worlds));
+
+    obs::ProfilerOptions profiler_options;
+    profiler_options.hz = hz;
+    profiler_options.emit_record = false;
+    if (Status s = obs::StartGlobalProfiler(profiler_options); !s.ok()) {
+      // OBS=OFF build or non-Linux host: nothing to measure, and nothing
+      // to gate — the profiler genuinely costs zero here.
+      std::fprintf(stderr, "skipped: %s\n", s.ToString().c_str());
+      return 0;
+    }
+    on_ns.push_back(TimeWorkload(graph, worlds));
+    const auto report = obs::StopGlobalProfiler();
+    if (report.ok() && rep == 0) {
+      std::fprintf(stderr, "profiler captured %llu samples in rep 0\n",
+                   static_cast<unsigned long long>(report->samples));
+    }
+  }
+
+  const double off_median = bench::Median(off_ns);
+  const double on_median = bench::Median(on_ns);
+  const double off_mad = bench::MedianAbsDeviation(off_ns, off_median);
+  const double on_mad = bench::MedianAbsDeviation(on_ns, on_median);
+  const double delta = on_median - off_median;
+  const double overhead = off_median > 0.0 ? delta / off_median : 0.0;
+  const double budget = flags.GetDouble("budget");
+  const double noise_ns = 3.0 * std::max(off_mad, on_mad);
+
+  std::fprintf(stdout,
+               "profiler off: median %.3f ms (MAD %.3f ms)\n"
+               "profiler on @ %d Hz: median %.3f ms (MAD %.3f ms)\n"
+               "overhead: %+.2f%% (budget %.2f%%, noise floor %.3f ms)\n",
+               off_median * 1e-6, off_mad * 1e-6, hz, on_median * 1e-6,
+               on_mad * 1e-6, overhead * 100.0, budget * 100.0,
+               noise_ns * 1e-6);
+
+  if (!flags.GetString("out").empty()) {
+    const auto make_result = [&](const char* name, double median, double mad,
+                                 const std::vector<double>& samples) {
+      bench::BenchResult result;
+      result.name = name;
+      result.iterations = worlds;
+      result.reps = reps;
+      result.median_ns = median;
+      result.mad_ns = mad;
+      result.min_ns = *std::min_element(samples.begin(), samples.end());
+      result.max_ns = *std::max_element(samples.begin(), samples.end());
+      double sum = 0.0;
+      for (const double v : samples) sum += v;
+      result.mean_ns = sum / static_cast<double>(samples.size());
+      return result;
+    };
+    const std::vector<bench::BenchResult> results = {
+        make_result("BM_McReliability_ProfilerOff", off_median, off_mad,
+                    off_ns),
+        make_result("BM_McReliability_ProfilerOn", on_median, on_mad, on_ns),
+    };
+    bench::BenchOptions bench_options;
+    bench_options.reps = reps;
+    if (Status s = bench::WriteBenchFile(flags.GetString("out"),
+                                         "profiler_overhead", results,
+                                         bench_options);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // A delta inside the repetition noise floor is jitter, not overhead —
+  // same dual gate the bench_diff regression check applies.
+  if (overhead > budget && delta > noise_ns) {
+    std::fprintf(stderr,
+                 "FAIL: profiler overhead %.2f%% exceeds the %.2f%% budget "
+                 "(+%.3f ms, noise floor %.3f ms)\n",
+                 overhead * 100.0, budget * 100.0, delta * 1e-6,
+                 noise_ns * 1e-6);
+    return 1;
+  }
+  std::fprintf(stdout, "PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }

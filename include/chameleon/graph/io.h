@@ -23,6 +23,14 @@ Result<UncertainGraph> ParseEdgeList(std::istream& in,
 
 Result<UncertainGraph> ReadEdgeList(const std::string& path);
 
+/// Writes a "graph_summary" JSONL record (n, m, mean/max structural
+/// degree, sum/mean edge probability, log2 degree histogram — the
+/// degree-distribution telemetry the uniqueness score and
+/// Poisson-binomial machinery consume) to the global obs sink. Called on
+/// every successful edge-list load; also usable for generated graphs.
+/// No-op when observability is disabled or has no sink.
+void EmitGraphSummary(const UncertainGraph& graph, std::string_view origin);
+
 /// Writes the `# nodes` header plus one `u v p` line per edge.
 Status WriteEdgeList(const UncertainGraph& graph, const std::string& path);
 

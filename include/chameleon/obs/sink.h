@@ -28,6 +28,18 @@
 ///    record written by ConvergenceTracker::Finish()
 ///   {"type":"run_summary", "t_ms":..., "wall_ms":..., "rusage":{..},
 ///    "metrics":{..}}  — plus "signal":N when a fatal signal ended the run
+///   {"type":"status_server", "t_ms":..., "address":..., "port":N}
+///    — bound /statusz port, written at server start so scripts can
+///    discover an ephemeral (--statusz_port=0) port from the stream
+///   {"type":"graph_summary", "t_ms":..., "origin":..., "nodes":N,
+///    "edges":M, "mean_degree":..., "max_degree":..., "sum_p":...,
+///    "mean_p":..., "deg_hist_log2":[..]}  — emitted per loaded graph;
+///    bucket 0 counts degree-0 nodes, bucket k>=1 degrees in
+///    [2^(k-1), 2^k)
+///   {"type":"profile", "t_ms":..., "hz":..., "duration_ms":...,
+///    "samples":N, "dropped":D, "folded_out":..., "spans":{path:count}}
+///    — sampling-profiler capture; "spans" maps span path to self-CPU
+///    sample count, "" rendered as (no_span)
 /// Writers format the line; sinks only append and are thread-safe.
 
 namespace chameleon::obs {

@@ -50,6 +50,23 @@ std::uint32_t CurrentThreadIndex();
 /// "genobf/trial/sample". Used to keep metric-name cardinality static.
 std::string StripPathIndices(std::string_view path);
 
+/// Interns `path` into the process-global span-path table and returns its
+/// id (> 0; stable for the process lifetime). Id 0 is reserved for "no
+/// span". Interning takes a mutex and happens at span open — per phase,
+/// not per sample — so it stays off the hot path.
+std::uint32_t InternSpanPath(std::string_view path);
+
+/// Path for an interned id; "" for 0 or an unknown id. Takes the intern
+/// mutex — offline use only (profiler aggregation, tests), never from a
+/// signal handler.
+std::string SpanPathForId(std::uint32_t id);
+
+/// Id of the innermost open span on the calling thread (0 = none), across
+/// all tracers. Reads one thread-local word, so the sampling profiler's
+/// SIGPROF handler can call it async-signal-safely to attribute a sample
+/// to the active span without touching strings or locks.
+std::uint32_t CurrentSpanPathId();
+
 /// One currently-open span, as shown by the /statusz live-span table.
 struct LiveSpanEntry {
   std::uint32_t tid = 0;
@@ -111,6 +128,8 @@ class TraceSpan {
 
   Tracer* tracer_ = nullptr;
   std::string path_;
+  std::uint32_t path_id_ = 0;
+  std::uint32_t parent_path_id_ = 0;
   std::uint64_t start_nanos_ = 0;
   std::uint64_t start_wall_millis_ = 0;
   ThreadResourceSample start_resources_;

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validates a chameleon sampling-profiler capture.
+
+Usage: check_profile.py <profile.folded> [metrics.jsonl]
+           [--span=PREFIX] [--min-frac=F] [--min-samples=N]
+
+Passes when the folded collapsed-stack file parses ("frame;frame;... N"
+lines), holds at least --min-samples samples in total, and attributes at
+least --min-frac of them to stacks rooted in the --span span path
+(default: the "reliability" span must own > 50% of the CPU). When a
+metrics JSONL is given, the "profile" record must exist, agree that
+samples were captured, and carry a non-empty per-span breakdown.
+Exits non-zero with a diagnostic otherwise.
+"""
+import json
+import sys
+
+
+def parse_folded(path):
+    """Returns [(frames, count)] or raises ValueError with a location."""
+    stacks = []
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            head, sep, count = line.rpartition(" ")
+            if not sep or not count.isdigit() or not head:
+                raise ValueError(f"{path}:{lineno}: not a folded line: {line!r}")
+            stacks.append((head.split(";"), int(count)))
+    return stacks
+
+
+def check_record(path):
+    """Returns an error string or None; prints the record summary."""
+    profiles = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "profile":
+                profiles.append(obj)
+    if not profiles:
+        return f"{path}: no profile record"
+    for rec in profiles:
+        if rec.get("samples", 0) <= 0:
+            return f"{path}: profile record has no samples: {rec}"
+        if not rec.get("spans"):
+            return f"{path}: profile record has no span breakdown: {rec}"
+    rec = profiles[-1]
+    print(f"profile record OK: {rec['samples']} samples at {rec['hz']} Hz "
+          f"over {rec['duration_ms']:.0f} ms, {len(rec['spans'])} span paths")
+    return None
+
+
+def main() -> int:
+    span_prefix = "reliability"
+    min_frac = 0.5
+    min_samples = 20
+    positional = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--span="):
+            span_prefix = arg.split("=", 1)[1]
+        elif arg.startswith("--min-frac="):
+            min_frac = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-samples="):
+            min_samples = int(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if not positional:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        stacks = parse_folded(positional[0])
+    except (OSError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 1
+    if not stacks:
+        print(f"{positional[0]}: empty folded profile", file=sys.stderr)
+        return 1
+
+    total = sum(count for _, count in stacks)
+    in_span = sum(count for frames, count in stacks
+                  if frames and frames[0] == span_prefix)
+    if total < min_samples:
+        print(f"{positional[0]}: only {total} samples (need {min_samples}); "
+              f"run longer or raise --profile_hz", file=sys.stderr)
+        return 1
+    frac = in_span / total
+    if frac < min_frac:
+        roots = {}
+        for frames, count in stacks:
+            roots[frames[0]] = roots.get(frames[0], 0) + count
+        top = sorted(roots.items(), key=lambda kv: -kv[1])[:5]
+        print(f"{positional[0]}: span '{span_prefix}' owns {frac:.1%} of "
+              f"{total} samples (need {min_frac:.0%}); top roots: {top}",
+              file=sys.stderr)
+        return 1
+    print(f"folded profile OK: {len(stacks)} stacks, {total} samples, "
+          f"{frac:.1%} under span '{span_prefix}'")
+
+    if len(positional) > 1:
+        err = check_record(positional[1])
+        if err:
+            print(err, file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,48 @@
 
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
 
 namespace chameleon::graph {
+
+void EmitGraphSummary(const UncertainGraph& graph, std::string_view origin) {
+  if (!obs::Enabled()) return;
+  obs::RecordSink* sink = obs::GlobalSink();
+  if (sink == nullptr) return;
+
+  std::size_t max_degree = 0;
+  // Bucket 0: degree-0 nodes; bucket k>=1: degree in [2^(k-1), 2^k).
+  std::vector<std::uint64_t> hist;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::size_t degree = graph.Neighbors(v).size();
+    max_degree = std::max(max_degree, degree);
+    std::size_t bucket = 0;
+    for (std::size_t d = degree; d > 0; d >>= 1) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+
+  const auto n = static_cast<double>(graph.num_nodes());
+  const auto m = static_cast<double>(graph.num_edges());
+  std::string line = StrFormat(
+      "{\"type\":\"graph_summary\",\"t_ms\":%llu,\"origin\":\"%s\","
+      "\"nodes\":%llu,\"edges\":%llu,\"mean_degree\":%.6g,"
+      "\"max_degree\":%llu,\"sum_p\":%.10g,\"mean_p\":%.6g,"
+      "\"deg_hist_log2\":[",
+      static_cast<unsigned long long>(WallUnixMillis()),
+      JsonEscape(origin).c_str(),
+      static_cast<unsigned long long>(graph.num_nodes()),
+      static_cast<unsigned long long>(graph.num_edges()),
+      n > 0 ? 2.0 * m / n : 0.0,
+      static_cast<unsigned long long>(max_degree),
+      graph.expected_num_edges(), graph.mean_probability());
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    if (b != 0) line += ',';
+    line += StrFormat("%llu", static_cast<unsigned long long>(hist[b]));
+  }
+  line += "]}";
+  sink->Write(line);
+}
 
 Result<UncertainGraph> ParseEdgeList(std::istream& in,
                                      std::string_view origin) {
@@ -72,6 +112,7 @@ Result<UncertainGraph> ParseEdgeList(std::istream& in,
     span.AddCount("lines", line_number);
     span.AddCount("edges", graph->num_edges());
     CHOBS_COUNT("graph/io/edges_read", graph->num_edges());
+    EmitGraphSummary(*graph, origin);
   }
   return graph;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/status_server.h"
 #include "chameleon/util/logging.h"
@@ -51,6 +52,18 @@ void FinalizeRun(int signal_number) {
   // blocked on the serving thread, so the handler (and this join) always
   // runs on a worker thread.
   StopGlobalStatusServer();
+
+  // A still-running profiler flushes next (folded file + "profile"
+  // record), before the summary, for the same reason: the summary marks
+  // the stream complete. The drainer thread also blocks SIGINT/SIGTERM,
+  // so joining it here is safe from the signal handler. Same
+  // not-async-signal-safe trade-off as the summary below.
+  if (ProfilerRunning()) {
+    if (Result<ProfileReport> profile = StopGlobalProfiler(); !profile.ok()) {
+      CH_LOG(Warning) << "profiler flush failed: "
+                      << profile.status().ToString();
+    }
+  }
 
   RecordSink* sink;
   std::uint64_t run_start;

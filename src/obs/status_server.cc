@@ -18,6 +18,7 @@
 
 #include "chameleon/obs/convergence.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/profiler.h"
 #include "chameleon/obs/progress.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/trace.h"
@@ -42,6 +43,21 @@ std::string PromName(std::string_view name) {
     out += valid ? c : '_';
   }
   return out;
+}
+
+/// Value of `key` in an "a=1&b=2" query string, or `fallback` when the
+/// key is absent or does not parse as a number.
+double QueryParam(std::string_view query, std::string_view key,
+                  double fallback) {
+  for (const std::string& pair : SplitTokens(query, "&")) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (std::string_view(pair).substr(0, eq) != key) continue;
+    if (Result<double> value = ParseDouble(pair.substr(eq + 1)); value.ok()) {
+      return *value;
+    }
+  }
+  return fallback;
 }
 
 std::mutex& GlobalServerMu() {
@@ -293,26 +309,50 @@ void StatusServer::HandleConnection(int client_fd) {
     const std::size_t space = request.find(' ', 4);
     if (space != std::string::npos) target = request.substr(4, space - 4);
   }
+  std::string path = target;
+  std::string query;
+  if (const std::size_t qmark = target.find('?');
+      qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
 
   int code = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
-  if (target == "/statusz" || target == "/") {
+  if (path == "/statusz" || path == "/") {
     body = StatuszText();
-  } else if (target == "/metricsz") {
+  } else if (path == "/metricsz") {
     PublishConvergenceGauges();
     body = PrometheusMetricsText(GlobalMetrics().TakeSnapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/profilez") {
+    // Bounded capture; blocks this serving thread for the duration
+    // (seconds is clamped to [0.05, 30], and a stalled scraper cannot
+    // wedge anything else). When a whole-run --profile capture is
+    // already running, this returns its aggregate so far instead.
+    const double seconds = QueryParam(query, "seconds", 1.0);
+    const int hz =
+        static_cast<int>(QueryParam(query, "hz", 99.0));
+    Result<std::string> folded = CaptureFoldedProfile(seconds, hz);
+    if (folded.ok()) {
+      body = *std::move(folded);
+    } else {
+      code = 503;
+      body = "profile capture failed: " + folded.status().ToString() + "\n";
+    }
   } else {
     code = 404;
-    body = "not found; try /statusz or /metricsz\n";
+    body = "not found; try /statusz, /metricsz, or /profilez?seconds=N\n";
   }
 
+  const char* reason = code == 200   ? "OK"
+                       : code == 503 ? "Service Unavailable"
+                                     : "Not Found";
   std::string response = StrFormat(
       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
       "Connection: close\r\n\r\n",
-      code, code == 200 ? "OK" : "Not Found", content_type.c_str(),
-      body.size());
+      code, reason, content_type.c_str(), body.size());
   response += body;
   std::size_t sent = 0;
   while (sent < response.size()) {
@@ -334,8 +374,20 @@ Status StartGlobalStatusServer(const StatusServerOptions& options) {
     GlobalServerSlot() = *std::move(server);
   }
   previous.reset();  // joins the old serving thread outside the lock
+  const int port = GlobalStatusServer()->port();
   CH_LOG(Info) << "statusz serving on http://" << options.bind_address << ":"
-               << GlobalStatusServer()->port() << "/statusz";
+               << port << "/statusz";
+  // With --statusz_port=0 the kernel picks the port, so scripts cannot
+  // know it up front; the JSONL record makes it discoverable from the
+  // metrics stream (chameleon_watch, CI smoke tests).
+  if (RecordSink* sink = GlobalSink(); sink != nullptr) {
+    sink->Write(StrFormat(
+        "{\"type\":\"status_server\",\"t_ms\":%llu,\"address\":\"%s\","
+        "\"port\":%d}",
+        static_cast<unsigned long long>(WallUnixMillis()),
+        JsonEscape(options.bind_address).c_str(), port));
+    sink->Flush();
+  }
   return Status::OK();
 }
 

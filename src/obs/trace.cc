@@ -10,11 +10,36 @@
 
 #include "chameleon/obs/alloc_stats.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/profiler.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 
 namespace chameleon::obs {
 namespace {
+
+/// Innermost open span path id on this thread (0 = none). Plain word at
+/// namespace scope: written only by this thread at span open/close, read
+/// by this thread's SIGPROF handler — no cross-thread access, no guard
+/// variable, no allocation on access (initial-exec TLS in a static lib).
+thread_local std::uint32_t tls_span_path_id = 0;
+
+/// Interned span paths. Id i lives at table[i - 1]; id 0 is "no span".
+/// Leaked (like the live-span mutex) so late span closes during teardown
+/// never touch a destructed table.
+std::mutex& SpanPathsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+struct SpanPathTable {
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::string> paths;  ///< index = id - 1
+};
+
+SpanPathTable& SpanPaths() {
+  static auto* table = new SpanPathTable();
+  return *table;
+}
 
 /// Active spans on this thread, innermost last. Spans of different
 /// tracers may interleave (tests); each entry remembers its tracer so
@@ -109,6 +134,27 @@ std::string StripPathIndices(std::string_view path) {
   return out;
 }
 
+std::uint32_t InternSpanPath(std::string_view path) {
+  const std::lock_guard<std::mutex> lock(SpanPathsMu());
+  SpanPathTable& table = SpanPaths();
+  const auto it = table.ids.find(std::string(path));
+  if (it != table.ids.end()) return it->second;
+  table.paths.emplace_back(path);
+  const auto id = static_cast<std::uint32_t>(table.paths.size());
+  table.ids.emplace(std::string(path), id);
+  return id;
+}
+
+std::string SpanPathForId(std::uint32_t id) {
+  if (id == 0) return std::string();
+  const std::lock_guard<std::mutex> lock(SpanPathsMu());
+  const SpanPathTable& table = SpanPaths();
+  if (id > table.paths.size()) return std::string();
+  return table.paths[id - 1];
+}
+
+std::uint32_t CurrentSpanPathId() { return tls_span_path_id; }
+
 std::vector<LiveSpanEntry> LiveSpans() {
   std::vector<LiveSpanEntry> entries;
   {
@@ -147,6 +193,10 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
     path_ += '/';
   }
   path_ += name;
+  path_id_ = InternSpanPath(path_);
+  parent_path_id_ = tls_span_path_id;
+  tls_span_path_id = path_id_;
+  ProfilerRegisterCurrentThread();
   start_wall_millis_ = WallUnixMillis();
   start_resources_ = SampleThreadResources();
   start_nanos_ = MonotonicNanos();
@@ -161,6 +211,9 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
 TraceSpan::~TraceSpan() {
   if (!active()) return;
   const std::uint64_t duration = MonotonicNanos() - start_nanos_;
+  // Restore the sampler's active-span word; the guard keeps a tolerated
+  // out-of-order close from resurrecting a stale id.
+  if (tls_span_path_id == path_id_) tls_span_path_id = parent_path_id_;
   {
     const std::lock_guard<std::mutex> lock(LiveSpansMu());
     LiveSpanTable().erase(this);

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/sink.h"
+
 namespace chameleon::graph {
 namespace {
 
@@ -66,6 +69,41 @@ TEST(IoTest, RoundTripThroughFile) {
   }
   std::remove(path.c_str());
 }
+
+#if CHAMELEON_OBS_ENABLED
+TEST(IoTest, ParseEmitsGraphSummaryRecord) {
+  const std::string jsonl = testing::TempDir() + "/io_graph_summary.jsonl";
+  std::remove(jsonl.c_str());
+  obs::ObsOptions options;
+  options.metrics_out = jsonl;
+  options.read_env = false;
+  ASSERT_TRUE(obs::InitObservability(options).ok());
+
+  // Path graph 0-1-2-3: degrees [1, 2, 2, 1].
+  std::istringstream in("0 1 0.5\n1 2 0.25\n2 3 0.5\n");
+  ASSERT_TRUE(ParseEdgeList(in, "summary.edges").ok());
+  obs::ShutdownObservability();
+
+  std::ifstream stream(jsonl);
+  std::string line;
+  std::string summary;
+  while (std::getline(stream, line)) {
+    if (obs::JsonlStringField(line, "type") == "graph_summary") {
+      summary = line;
+    }
+  }
+  ASSERT_FALSE(summary.empty()) << "no graph_summary record in " << jsonl;
+  EXPECT_EQ(obs::JsonlStringField(summary, "origin"), "summary.edges");
+  EXPECT_EQ(obs::JsonlNumberField(summary, "nodes"), 4.0);
+  EXPECT_EQ(obs::JsonlNumberField(summary, "edges"), 3.0);
+  EXPECT_EQ(obs::JsonlNumberField(summary, "mean_degree"), 1.5);
+  EXPECT_EQ(obs::JsonlNumberField(summary, "max_degree"), 2.0);
+  EXPECT_EQ(obs::JsonlNumberField(summary, "sum_p"), 1.25);
+  // Bucket 0 = isolated, bucket 1 = degree 1, bucket 2 = degrees 2..3.
+  EXPECT_NE(summary.find("\"deg_hist_log2\":[0,2,2]"), std::string::npos)
+      << summary;
+}
+#endif  // CHAMELEON_OBS_ENABLED
 
 TEST(IoTest, MissingFileIsIoError) {
   const Result<UncertainGraph> g =

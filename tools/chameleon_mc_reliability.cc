@@ -18,6 +18,7 @@
 #include "chameleon/graph/io.h"
 #include "chameleon/graph/uncertain_graph.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/status_server.h"
 #include "chameleon/reliability/reliability.h"
@@ -85,6 +86,10 @@ int Run(int argc, char** argv) {
   flags.AddInt64("statusz_port", -1,
                  "serve live /statusz and /metricsz on this loopback port "
                  "(0 = ephemeral, -1 = off)");
+  flags.AddString("profile", "",
+                  "sample CPU for the whole run and write folded collapsed "
+                  "stacks (flamegraph.pl input) to this path");
+  flags.AddInt64("profile_hz", 99, "sampling frequency per CPU-second");
   flags.AddBool("connected_pairs", true,
                 "also estimate E[#connected pairs]");
   flags.AddBool("version", false, "print build provenance and exit");
@@ -108,11 +113,13 @@ int Run(int argc, char** argv) {
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
   const std::int64_t statusz_port = flags.GetInt64("statusz_port");
-  if (obs_options.metrics_out.empty() && statusz_port >= 0 &&
+  const std::string profile_out = flags.GetString("profile");
+  if (obs_options.metrics_out.empty() &&
+      (statusz_port >= 0 || !profile_out.empty()) &&
       std::getenv("CHAMELEON_METRICS") == nullptr) {
-    // /statusz and /metricsz render from the live obs registries, which
-    // only run when a sink exists; a discarded stream keeps them live
-    // without forcing the user to pick a metrics path.
+    // /statusz, /metricsz, and the profiler render from the live obs
+    // registries, which only run when a sink exists; a discarded stream
+    // keeps them live without forcing the user to pick a metrics path.
     obs_options.metrics_out = "/dev/null";
   }
   if (Status s = obs::InitObservability(obs_options); !s.ok()) {
@@ -128,6 +135,17 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(stderr, "statusz: http://127.0.0.1:%d/statusz\n",
                  obs::GlobalStatusServer()->port());
+  }
+  if (!profile_out.empty()) {
+    obs::ProfilerOptions profiler_options;
+    profiler_options.hz = static_cast<int>(flags.GetInt64("profile_hz"));
+    profiler_options.folded_out = profile_out;
+    if (Status s = obs::StartGlobalProfiler(profiler_options); !s.ok()) {
+      // An OBS=OFF build (or a non-Linux host) still runs the estimate,
+      // just without a profile.
+      std::fprintf(stderr, "warning: profiler disabled: %s\n",
+                   s.ToString().c_str());
+    }
   }
 
   // First record of the stream: full run provenance (build, argv, seed).
@@ -197,6 +215,21 @@ int Run(int argc, char** argv) {
                  pairs->expected_pairs, pairs->ci_halfwidth, pairs->stddev,
                  pairs->worlds,
                  pairs->stopped_early ? ", stopped early" : "");
+  }
+
+  if (obs::ProfilerRunning()) {
+    // Explicit stop (FinalizeRun would also do it) so the sample count
+    // lands on stdout next to the estimates.
+    if (Result<obs::ProfileReport> profile = obs::StopGlobalProfiler();
+        profile.ok()) {
+      std::fprintf(stdout, "profile: %llu samples (%llu dropped) -> %s\n",
+                   static_cast<unsigned long long>(profile->samples),
+                   static_cast<unsigned long long>(profile->dropped),
+                   profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: profiler stop failed: %s\n",
+                   profile.status().ToString().c_str());
+    }
   }
 
   obs::ShutdownObservability();

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chameleon/obs/run_context.h"
@@ -48,10 +49,33 @@ struct ConvergenceRow {
   std::size_t records = 0;
 };
 
+/// One "graph_summary" record (per loaded graph).
+struct GraphSummaryRow {
+  std::string origin;
+  double nodes = 0.0;
+  double edges = 0.0;
+  double mean_degree = 0.0;
+  double max_degree = 0.0;
+  double sum_p = 0.0;
+  double mean_p = 0.0;
+};
+
+/// One "profile" record: a sampling-profiler capture with per-span
+/// self-CPU sample counts.
+struct ProfileCapture {
+  double hz = 0.0;
+  double duration_ms = 0.0;
+  double samples = 0.0;
+  double dropped = 0.0;
+  std::vector<std::pair<std::string, double>> spans;
+};
+
 struct DumpResult {
   std::map<std::string, PhaseAggregate> phases;
   std::map<std::string, ConvergenceRow> estimators;
   std::vector<std::pair<std::string, double>> summary_counters;
+  std::vector<GraphSummaryRow> graph_summaries;
+  std::vector<ProfileCapture> profiles;
   double run_wall_ms = -1.0;
   std::size_t span_records = 0;
   std::size_t progress_records = 0;
@@ -61,12 +85,16 @@ struct DumpResult {
   std::string summary_line;   ///< raw run_summary record, for rusage
 };
 
-/// Pulls every `"name":value` pair out of the run summary's "counters"
-/// object. Relies on the flat layout the sink emits.
-void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
-  const std::size_t block = line.find("\"counters\":{");
+/// Pulls every `"name":value` pair out of the flat JSON object that
+/// starts at `marker` (e.g. `"counters":{`). Relies on the flat layout
+/// the sink emits; stops at the object's own closing brace — stepping
+/// past it would walk into sibling objects.
+void ExtractFlatNumberObject(
+    const std::string& line, std::string_view marker,
+    std::vector<std::pair<std::string, double>>* out) {
+  const std::size_t block = line.find(marker);
   if (block == std::string::npos) return;
-  std::size_t i = block + 12;
+  std::size_t i = block + marker.size();
   while (i < line.size() && line[i] != '}') {
     const std::size_t key_start = line.find('"', i);
     if (key_start == std::string::npos) break;
@@ -83,13 +111,15 @@ void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
     const Result<double> value =
         ParseDouble(line.substr(colon + 1, value_end - colon - 1));
     if (value.ok()) {
-      out->summary_counters.emplace_back(
-          line.substr(key_start + 1, key_end - key_start - 1), *value);
+      out->emplace_back(line.substr(key_start + 1, key_end - key_start - 1),
+                        *value);
     }
-    // Stop at the counters object's own closing brace — stepping past it
-    // would walk into the sibling "gauges"/"histograms" objects.
     i = value_end;
   }
+}
+
+void ExtractSummaryCounters(const std::string& line, DumpResult* out) {
+  ExtractFlatNumberObject(line, "\"counters\":{", &out->summary_counters);
 }
 
 /// Self time: a phase's total minus the time attributed to nested phases
@@ -155,6 +185,27 @@ Result<DumpResult> Load(const std::string& path) {
       }
     } else if (*type == "snapshot") {
       ++out.snapshot_records;
+    } else if (*type == "graph_summary") {
+      GraphSummaryRow row;
+      row.origin = obs::JsonlStringField(line, "origin").value_or("?");
+      row.nodes = obs::JsonlNumberField(line, "nodes").value_or(0.0);
+      row.edges = obs::JsonlNumberField(line, "edges").value_or(0.0);
+      row.mean_degree =
+          obs::JsonlNumberField(line, "mean_degree").value_or(0.0);
+      row.max_degree =
+          obs::JsonlNumberField(line, "max_degree").value_or(0.0);
+      row.sum_p = obs::JsonlNumberField(line, "sum_p").value_or(0.0);
+      row.mean_p = obs::JsonlNumberField(line, "mean_p").value_or(0.0);
+      out.graph_summaries.push_back(std::move(row));
+    } else if (*type == "profile") {
+      ProfileCapture capture;
+      capture.hz = obs::JsonlNumberField(line, "hz").value_or(0.0);
+      capture.duration_ms =
+          obs::JsonlNumberField(line, "duration_ms").value_or(0.0);
+      capture.samples = obs::JsonlNumberField(line, "samples").value_or(0.0);
+      capture.dropped = obs::JsonlNumberField(line, "dropped").value_or(0.0);
+      ExtractFlatNumberObject(line, "\"spans\":{", &capture.spans);
+      out.profiles.push_back(std::move(capture));
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
       if (wall.has_value()) out.run_wall_ms = *wall;
@@ -306,6 +357,29 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
     }
   }
 
+  if (!dump.graph_summaries.empty()) {
+    std::printf("\ngraphs loaded:\n");
+    std::size_t gwidth = 6;
+    for (const GraphSummaryRow& g : dump.graph_summaries) {
+      gwidth = std::max(gwidth, g.origin.size());
+    }
+    std::printf("%-*s %10s %10s %9s %8s %12s %7s\n",
+                static_cast<int>(gwidth), "origin", "nodes", "edges",
+                "mean deg", "max deg", "sum p", "mean p");
+    for (const GraphSummaryRow& g : dump.graph_summaries) {
+      std::printf("%-*s %10.0f %10.0f %9.2f %8.0f %12.2f %7.3f\n",
+                  static_cast<int>(gwidth), g.origin.c_str(), g.nodes,
+                  g.edges, g.mean_degree, g.max_degree, g.sum_p, g.mean_p);
+    }
+  }
+
+  if (!dump.profiles.empty()) {
+    const ProfileCapture& last = dump.profiles.back();
+    std::printf("\nprofile: %.0f samples at %.0f Hz over %.1f ms "
+                "(%.0f dropped); rerun with --flame for the span table\n",
+                last.samples, last.hz, last.duration_ms, last.dropped);
+  }
+
   if (!dump.summary_counters.empty()) {
     std::printf("\nrun summary counters:\n");
     std::size_t cwidth = 5;
@@ -336,6 +410,41 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
   }
 }
 
+/// The --flame view: per-span self-CPU sample table from the last
+/// "profile" record (the whole-run capture when --profile was used).
+int PrintFlame(const DumpResult& dump, std::int64_t top) {
+  if (dump.profiles.empty()) {
+    std::fprintf(stderr,
+                 "no profile records found (rerun the tool with "
+                 "--profile=profile.folded)\n");
+    return 1;
+  }
+  const ProfileCapture& capture = dump.profiles.back();
+  std::printf("profile: %.0f samples at %.0f Hz over %.1f ms (%.0f dropped)\n",
+              capture.samples, capture.hz, capture.duration_ms,
+              capture.dropped);
+
+  std::vector<std::pair<std::string, double>> rows = capture.spans;
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (top > 0 && static_cast<std::size_t>(top) < rows.size()) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+  std::size_t width = 9;
+  for (const auto& [path, samples] : rows) {
+    width = std::max(width, path.size());
+  }
+  std::printf("%-*s %10s %6s\n", static_cast<int>(width), "span path",
+              "samples", "%cpu");
+  for (const auto& [path, samples] : rows) {
+    std::printf("%-*s %10.0f %6.1f\n", static_cast<int>(width), path.c_str(),
+                samples,
+                capture.samples > 0.0 ? 100.0 * samples / capture.samples
+                                      : 0.0);
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags(
       "chameleon_obs_dump: per-phase timing table from a metrics JSONL "
@@ -343,6 +452,9 @@ int Run(int argc, char** argv) {
   flags.AddString("input", "", "metrics JSONL path (or first positional)");
   flags.AddString("sort", "total", "row order: total | self | calls | path");
   flags.AddInt64("top", 0, "show only the top N phases (0 = all)");
+  flags.AddBool("flame", false,
+                "print the per-span self-CPU sample table from the last "
+                "profiler capture instead of the timing report");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -373,6 +485,9 @@ int Run(int argc, char** argv) {
   if (!dump.ok()) {
     std::fprintf(stderr, "error: %s\n", dump.status().ToString().c_str());
     return 1;
+  }
+  if (flags.GetBool("flame")) {
+    return PrintFlame(*dump, flags.GetInt64("top"));
   }
   if (dump->phases.empty() && dump->summary_counters.empty() &&
       dump->estimators.empty()) {

@@ -88,6 +88,31 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
     state->last_estimator_line[label.value_or("?")] = text;
     return text + "\n";
   }
+  if (*type == "status_server") {
+    const auto address = obs::JsonlStringField(line, "address");
+    const double port = obs::JsonlNumberField(line, "port").value_or(0.0);
+    return StrFormat("statusz live at http://%s:%.0f/statusz\n",
+                     address.value_or("127.0.0.1").c_str(), port);
+  }
+  if (*type == "graph_summary") {
+    const auto origin = obs::JsonlStringField(line, "origin");
+    const double nodes = obs::JsonlNumberField(line, "nodes").value_or(0.0);
+    const double edges = obs::JsonlNumberField(line, "edges").value_or(0.0);
+    const double mean_p =
+        obs::JsonlNumberField(line, "mean_p").value_or(0.0);
+    return StrFormat("graph %s: %.0f nodes, %.0f edges, mean p %.3f\n",
+                     origin.value_or("?").c_str(), nodes, edges, mean_p);
+  }
+  if (*type == "profile") {
+    const double samples =
+        obs::JsonlNumberField(line, "samples").value_or(0.0);
+    const double hz = obs::JsonlNumberField(line, "hz").value_or(0.0);
+    const double dropped =
+        obs::JsonlNumberField(line, "dropped").value_or(0.0);
+    return StrFormat(
+        "profile captured: %.0f samples at %.0f Hz (%.0f dropped)\n",
+        samples, hz, dropped);
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
