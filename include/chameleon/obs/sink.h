@@ -40,7 +40,17 @@
 ///    "samples":N, "dropped":D, "folded_out":..., "spans":{path:count}}
 ///    — sampling-profiler capture; "spans" maps span path to self-CPU
 ///    sample count, "" rendered as (no_span)
+///   {"type":"privacy_check", "t_ms":..., "k":..., "eps":...,
+///    "eps_hat":..., "obfuscated":bool, "vertices":N,
+///    "not_obfuscated":M, "min_entropy_bits":..., "mean_entropy_bits":...,
+///    "distinct_omegas":D, "adversary":..., "threads":T, "wall_ms":...}
+///    — one (k,ε)-obfuscation verification (privacy/obfuscation.h)
 /// Writers format the line; sinks only append and are thread-safe.
+///
+/// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"
+/// values as forward-compatible passthrough: the record counts toward
+/// the stream total and is mentioned once per type in a debug note,
+/// never warned about per record.
 
 namespace chameleon::obs {
 

@@ -1,0 +1,77 @@
+#ifndef CHAMELEON_PRIVACY_UNIQUENESS_H_
+#define CHAMELEON_PRIVACY_UNIQUENESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/status.h"
+
+/// \file uniqueness.h
+/// Uniqueness scores U^v (paper Definition 4): the inverse kernel-density
+/// commonness of a vertex's degree property among the population. A
+/// vertex whose expected degree sits in a dense part of the degree
+/// spectrum is common (hard to re-identify, low U); an outlier hub is
+/// unique (easy to re-identify, high U) and needs more obfuscation
+/// noise. Chameleon's GenObf excludes the ⌈ε/2·|V|⌉ highest-uniqueness
+/// vertices and budgets per-edge noise by these scores.
+///
+/// Commonness of property value ω:
+///   C(ω) = Σ_{u∈V} K_θ(ω − P(u)),   U(ω) = 1 / C(ω)
+/// with P(u) = E[deg u] (the uncertain-graph degree property, per
+/// DESIGN.md §4) and kernel K_θ unnormalized so K_θ(0) = 1 — every
+/// vertex contributes its own full unit of commonness, giving
+/// U^v ∈ (0, 1].
+
+namespace chameleon::privacy {
+
+/// Kernel shapes for the commonness density. Both evaluate to 1 at 0.
+enum class Kernel {
+  /// exp(−x² / 2θ²) — the paper's choice; infinite support.
+  kGaussian,
+  /// max(0, 1 − (x/θ)²) — compact support, cheaper tails.
+  kEpanechnikov,
+};
+
+struct UniquenessOptions {
+  Kernel kernel = Kernel::kGaussian;
+  /// Kernel bandwidth θ. 0 selects Silverman's rule-of-thumb
+  /// 1.06·σ̂·n^(−1/5) over the property values (θ = 1 when the spread
+  /// is zero); the paper's §V-C "θ = σ_G" choice is bandwidth = σ̂,
+  /// which callers opt into via SpreadBandwidth().
+  double bandwidth = 0.0;
+  /// Worker count for the O(n²) population sweep (< 1 = hardware).
+  int threads = 0;
+};
+
+/// Silverman's rule-of-thumb bandwidth for `values` (1.06·σ̂·n^(−1/5));
+/// 1 when fewer than two values or zero spread.
+double SilvermanBandwidth(const std::vector<double>& values);
+
+/// The paper's θ = σ_G: sample standard deviation of `values` (1 when
+/// degenerate), for callers that want §V-C's bandwidth instead of
+/// Silverman.
+double SpreadBandwidth(const std::vector<double>& values);
+
+/// Result of a uniqueness computation.
+struct UniquenessScores {
+  /// U^v per vertex, aligned with node ids.
+  std::vector<double> scores;
+  /// The bandwidth actually used (resolved from the options).
+  double bandwidth = 0.0;
+};
+
+/// U^v over arbitrary property values (one per vertex). InvalidArgument
+/// when `values` is empty or the bandwidth is negative.
+Result<UniquenessScores> ComputeUniqueness(const std::vector<double>& values,
+                                           const UniquenessOptions& options);
+
+/// U^v over the expected-degree property of `graph`. Deterministic
+/// across worker counts (fixed-block reduction). Emits a
+/// `privacy/uniqueness` trace span.
+Result<UniquenessScores> ComputeUniqueness(const graph::UncertainGraph& graph,
+                                           const UniquenessOptions& options);
+
+}  // namespace chameleon::privacy
+
+#endif  // CHAMELEON_PRIVACY_UNIQUENESS_H_

@@ -1,0 +1,44 @@
+#ifndef CHAMELEON_UTIL_PARALLEL_H_
+#define CHAMELEON_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+/// \file parallel.h
+/// Minimal fork-join parallelism for embarrassingly parallel vertex/edge
+/// sweeps. The primitive is block-based: the index range [0, n) is cut
+/// into fixed-size blocks whose boundaries depend only on `n` and
+/// `block_size`, and workers claim blocks through an atomic cursor.
+/// Dynamic claiming balances skewed per-item costs (degree-squared work
+/// piles onto hub vertices), while the fixed block boundaries let callers
+/// accumulate per-block partial results and reduce them in block order —
+/// making floating-point output independent of the worker count.
+
+namespace chameleon {
+
+/// Resolves a requested worker count: values < 1 mean "use the hardware
+/// concurrency" (at least 1). The result is additionally capped at the
+/// number of blocks by ParallelForBlocks, so callers can pass the
+/// user-facing --threads flag straight through.
+int EffectiveThreads(int requested);
+
+/// Number of fixed-size blocks covering [0, n).
+inline std::size_t NumBlocks(std::size_t n, std::size_t block_size) {
+  return block_size == 0 ? 0 : (n + block_size - 1) / block_size;
+}
+
+/// Runs `fn(block, begin, end)` for every block of `block_size`
+/// consecutive indices in [0, n), using up to `threads` workers (< 1 =
+/// hardware concurrency). Blocks are claimed dynamically but their
+/// boundaries are fixed, so `fn` sees the same (block, begin, end)
+/// triples regardless of the worker count. Runs inline (no threads
+/// spawned) when a single worker suffices. `fn` must be thread-safe
+/// across distinct blocks and must not throw.
+void ParallelForBlocks(
+    std::size_t n, std::size_t block_size, int threads,
+    const std::function<void(std::size_t block, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_PARALLEL_H_

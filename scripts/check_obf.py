@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validates a chameleon_obf_check verdict JSON against an expectation.
+
+Usage: check_obf.py <verdict.json> --expect=obfuscated|violated
+
+Passes when the file is a well-formed chameleon-obf-check-v1 certificate
+whose verdict matches --expect and whose fields are internally
+consistent (eps_hat = not_obfuscated / vertices, verdict = eps_hat <=
+eps, entropy bounds sane). Exits non-zero with a diagnostic otherwise.
+CI runs it over both committed example fixtures as the obf-check smoke.
+"""
+import json
+import math
+import sys
+
+REQUIRED_FIELDS = (
+    "schema", "graph", "nodes", "edges", "k", "eps", "eps_hat",
+    "obfuscated", "vertices", "not_obfuscated", "required_bits",
+    "min_entropy_bits", "mean_entropy_bits", "distinct_omegas",
+    "adversary", "threads", "wall_ms", "uniqueness",
+)
+
+
+def fail(message: str) -> int:
+    print(f"check_obf: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    path = None
+    expect = None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--expect="):
+            expect = arg.split("=", 1)[1]
+        elif not arg.startswith("--"):
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None or expect not in ("obfuscated", "violated"):
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            verdict = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot load {path}: {error}")
+
+    missing = [f for f in REQUIRED_FIELDS if f not in verdict]
+    if missing:
+        return fail(f"missing fields: {', '.join(missing)}")
+    if verdict["schema"] != "chameleon-obf-check-v1":
+        return fail(f"unexpected schema {verdict['schema']!r}")
+
+    vertices = verdict["vertices"]
+    not_obf = verdict["not_obfuscated"]
+    if vertices <= 0 or not 0 <= not_obf <= vertices:
+        return fail(f"bad counts: {not_obf}/{vertices}")
+    if not math.isclose(verdict["eps_hat"], not_obf / vertices,
+                        rel_tol=1e-9, abs_tol=1e-12):
+        return fail(f"eps_hat {verdict['eps_hat']} != "
+                    f"{not_obf}/{vertices}")
+    if verdict["obfuscated"] != (verdict["eps_hat"] <= verdict["eps"]):
+        return fail("verdict inconsistent with eps_hat <= eps")
+    if not math.isclose(verdict["required_bits"], math.log2(verdict["k"]),
+                        rel_tol=1e-9):
+        return fail("required_bits != log2(k)")
+    if verdict["min_entropy_bits"] > verdict["mean_entropy_bits"] + 1e-9:
+        return fail("min entropy exceeds mean entropy")
+    uniq = verdict["uniqueness"]
+    if not 0.0 < uniq.get("max", -1.0) <= 1.0 + 1e-9:
+        return fail(f"uniqueness max {uniq.get('max')} outside (0, 1]")
+
+    want = expect == "obfuscated"
+    if verdict["obfuscated"] != want:
+        return fail(f"expected {expect}, got "
+                    f"obfuscated={verdict['obfuscated']} "
+                    f"(eps_hat={verdict['eps_hat']}, eps={verdict['eps']})")
+
+    print(f"check_obf: OK: {verdict['graph']} is "
+          f"{'obfuscated' if want else 'violated'} as expected "
+          f"(eps_hat={verdict['eps_hat']:.6g}, "
+          f"min_entropy={verdict['min_entropy_bits']:.4g} bits)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#include "chameleon/privacy/degree_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/parallel.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::privacy {
+namespace {
+
+/// Vertices per scheduling block. Small enough that hub-heavy blocks
+/// (O(d²) per vertex) still balance, large enough to amortize claiming.
+constexpr std::size_t kBuildBlock = 64;
+
+double ClampProbability(double p) { return std::clamp(p, 0.0, 1.0); }
+
+}  // namespace
+
+DegreeDistribution DegreeDistribution::FromProbabilities(
+    std::span<const double> probabilities) {
+  DegreeDistribution dist;
+  dist.pmf_.reserve(probabilities.size() + 1);
+  for (const double p : probabilities) dist.AddEdge(p);
+  return dist;
+}
+
+DegreeDistribution DegreeDistribution::ForVertex(
+    const graph::UncertainGraph& graph, NodeId v) {
+  DegreeDistribution dist;
+  const auto neighbors = graph.Neighbors(v);
+  dist.pmf_.reserve(neighbors.size() + 1);
+  for (const graph::AdjEntry& entry : neighbors) {
+    dist.AddEdge(graph.edge(entry.edge).p);
+  }
+  return dist;
+}
+
+void DegreeDistribution::AddEdge(double p) {
+  p = ClampProbability(p);
+  const std::size_t d = pmf_.size();
+  pmf_.push_back(0.0);
+  // In-place convolution with {1-p, p}, highest degree first so each
+  // f[k] is read before it is overwritten.
+  for (std::size_t k = d; k > 0; --k) {
+    pmf_[k] = pmf_[k] * (1.0 - p) + pmf_[k - 1] * p;
+  }
+  pmf_[0] *= 1.0 - p;
+}
+
+Status DegreeDistribution::RemoveEdge(double p) {
+  if (pmf_.size() <= 1) {
+    return Status::InvalidArgument("no incorporated edges to remove");
+  }
+  if (p < 0.0 || p > 1.0 || std::isnan(p)) {
+    return Status::InvalidArgument(
+        StrFormat("edge probability %g outside [0, 1]", p));
+  }
+  const std::size_t d = pmf_.size() - 1;  // degrees 0..d before removal
+  if (p < 0.5) {
+    // Forward deconvolution: g[k] = (f[k] - g[k-1]·p) / (1-p). The
+    // divisor 1-p exceeds 1/2, so rounding noise is damped, not
+    // amplified. g overwrites f in place, low degrees first.
+    const double q = 1.0 - p;
+    double prev = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double g = (pmf_[k] - prev * p) / q;
+      pmf_[k] = std::max(0.0, g);
+      prev = pmf_[k];
+    }
+  } else {
+    // Backward deconvolution: g[k-1] = (f[k] - g[k]·(1-p)) / p, divisor
+    // p ≥ 1/2. High degrees first; g lands shifted one slot down, so
+    // f[k-1] must be captured before g[k-1] overwrites its slot.
+    const double q = 1.0 - p;
+    double next = 0.0;  // g[k] from the previous iteration; g[d] = 0
+    double f_k = pmf_[d];
+    for (std::size_t k = d; k > 0; --k) {
+      const double g = (f_k - next * q) / p;
+      f_k = pmf_[k - 1];
+      pmf_[k - 1] = std::max(0.0, g);
+      next = pmf_[k - 1];
+    }
+  }
+  pmf_.pop_back();
+  return Status::OK();
+}
+
+Status DegreeDistribution::UpdateEdge(double old_p, double new_p) {
+  CHAMELEON_RETURN_IF_ERROR(RemoveEdge(old_p));
+  AddEdge(new_p);
+  return Status::OK();
+}
+
+double DegreeDistribution::Cdf(std::size_t k) const {
+  if (k + 1 >= pmf_.size()) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= k; ++i) sum += pmf_[i];
+  return std::min(1.0, sum);
+}
+
+double DegreeDistribution::Mean() const {
+  double mean = 0.0;
+  for (std::size_t k = 1; k < pmf_.size(); ++k) {
+    mean += static_cast<double>(k) * pmf_[k];
+  }
+  return mean;
+}
+
+double DegreeDistribution::EntropyBits() const {
+  double entropy = 0.0;
+  for (const double f : pmf_) {
+    if (f > 0.0) entropy -= f * std::log2(f);
+  }
+  return std::max(0.0, entropy);
+}
+
+std::vector<DegreeDistribution> BuildDegreeDistributions(
+    const graph::UncertainGraph& graph, int threads) {
+  CHOBS_SPAN(span, "privacy/degree_distributions");
+  const std::size_t n = graph.num_nodes();
+  std::vector<DegreeDistribution> dists(n);
+  ParallelForBlocks(n, kBuildBlock, threads,
+                    [&](std::size_t /*block*/, std::size_t begin,
+                        std::size_t end) {
+                      for (std::size_t v = begin; v < end; ++v) {
+                        dists[v] = DegreeDistribution::ForVertex(
+                            graph, static_cast<NodeId>(v));
+                      }
+                    });
+  span.AddCount("vertices", n);
+  span.AddCount("edges", graph.num_edges());
+  CHOBS_COUNT("privacy/degree_distributions/built", n);
+  return dists;
+}
+
+}  // namespace chameleon::privacy

@@ -1,0 +1,213 @@
+#include "chameleon/privacy/obfuscation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/parallel.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::privacy {
+namespace {
+
+/// Vertices per scheduling block in the posterior sweep. Per-block
+/// partial S/T arrays cost O(max_degree) doubles each; 256 keeps the
+/// block count (and so the partial-buffer memory) small while still
+/// load-balancing hub-heavy blocks.
+constexpr std::size_t kPosteriorBlock = 256;
+
+/// Slack absorbing float noise in the entropy-vs-log2(k) comparison, so
+/// an exactly-uniform posterior over k vertices counts as k-obfuscated.
+constexpr double kEntropySlack = 1e-12;
+
+std::size_t AdversaryValue(const graph::UncertainGraph& graph, NodeId v,
+                           AdversaryModel model) {
+  switch (model) {
+    case AdversaryModel::kRoundedExpectedDegree:
+      return static_cast<std::size_t>(
+          std::llround(graph.expected_degree(v)));
+    case AdversaryModel::kStructuralDegree:
+      return graph.Neighbors(v).size();
+  }
+  return 0;
+}
+
+Status ValidateOptions(const ObfuscationOptions& options) {
+  if (!(options.k > 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("k = %g must be greater than 1", options.k));
+  }
+  if (!(options.epsilon >= 0.0 && options.epsilon <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon = %g must be in [0, 1]", options.epsilon));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view AdversaryModelName(AdversaryModel model) {
+  switch (model) {
+    case AdversaryModel::kRoundedExpectedDegree:
+      return "expected_degree";
+    case AdversaryModel::kStructuralDegree:
+      return "structural_degree";
+  }
+  return "unknown";
+}
+
+Result<ObfuscationCertificate> VerifyObfuscation(
+    const graph::UncertainGraph& graph, const ObfuscationOptions& options) {
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(options));
+  const std::vector<DegreeDistribution> dists =
+      BuildDegreeDistributions(graph, options.threads);
+  return VerifyObfuscation(graph, dists, options);
+}
+
+Result<ObfuscationCertificate> VerifyObfuscation(
+    const graph::UncertainGraph& graph,
+    const std::vector<DegreeDistribution>& dists,
+    const ObfuscationOptions& options) {
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(options));
+  const std::size_t n = graph.num_nodes();
+  if (dists.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("%zu degree distributions for %zu vertices", dists.size(),
+                  static_cast<std::size_t>(n)));
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot verify an empty graph");
+  }
+
+  CHOBS_SPAN(span, "privacy/obf_check");
+  WallTimer timer;
+  ObfuscationCertificate cert;
+  cert.k = options.k;
+  cert.epsilon = options.epsilon;
+  cert.vertices = n;
+  cert.adversary = options.adversary;
+  cert.threads = EffectiveThreads(options.threads);
+
+  // Adversary knowledge values and the ω range the posteriors span.
+  std::vector<std::size_t> omegas(n);
+  std::size_t max_value = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    omegas[v] = AdversaryValue(graph, v, options.adversary);
+    max_value = std::max({max_value, omegas[v], dists[v].num_edges()});
+  }
+
+  // One vertex-major sweep accumulates, for every degree value ω,
+  //   S(ω) = Σ_u X_u(ω)   and   T(ω) = Σ_u X_u(ω)·log₂ X_u(ω);
+  // the posterior entropy is then H(Y_ω) = log₂ S − T/S without ever
+  // materializing a posterior. Per-block partials merged in block order
+  // keep the sums worker-count independent.
+  const std::size_t width = max_value + 1;
+  const std::size_t blocks = NumBlocks(n, kPosteriorBlock);
+  std::vector<std::vector<double>> partial_s(blocks);
+  std::vector<std::vector<double>> partial_t(blocks);
+  {
+    CHOBS_SPAN(sweep_span, "posterior_sweep");
+    ParallelForBlocks(
+        n, kPosteriorBlock, options.threads,
+        [&](std::size_t block, std::size_t begin, std::size_t end) {
+          std::vector<double>& s = partial_s[block];
+          std::vector<double>& t = partial_t[block];
+          s.assign(width, 0.0);
+          t.assign(width, 0.0);
+          for (std::size_t u = begin; u < end; ++u) {
+            const std::vector<double>& pmf = dists[u].pmf();
+            for (std::size_t w = 0; w < pmf.size(); ++w) {
+              const double x = pmf[w];
+              if (x > 0.0) {
+                s[w] += x;
+                t[w] += x * std::log2(x);
+              }
+            }
+          }
+        });
+    sweep_span.AddCount("vertices", n);
+  }
+  std::vector<double> sum(width, 0.0);
+  std::vector<double> sum_xlogx(width, 0.0);
+  for (std::size_t block = 0; block < blocks; ++block) {
+    for (std::size_t w = 0; w < width; ++w) {
+      sum[w] += partial_s[block][w];
+      sum_xlogx[w] += partial_t[block][w];
+    }
+  }
+
+  std::vector<double> entropy(width, 0.0);
+  std::vector<bool> value_seen(width, false);
+  for (std::size_t w = 0; w < width; ++w) {
+    if (sum[w] > 0.0) {
+      entropy[w] = std::max(0.0, std::log2(sum[w]) - sum_xlogx[w] / sum[w]);
+    }
+  }
+
+  const double required_bits = std::log2(options.k);
+  double entropy_sum = 0.0;
+  double entropy_min = std::numeric_limits<double>::infinity();
+  if (options.keep_per_vertex) cert.per_vertex.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t omega = omegas[v];
+    const double h = entropy[omega];
+    const bool obfuscated = h + kEntropySlack >= required_bits;
+    if (!obfuscated) ++cert.not_obfuscated;
+    entropy_sum += h;
+    entropy_min = std::min(entropy_min, h);
+    value_seen[omega] = true;
+    if (options.keep_per_vertex) {
+      cert.per_vertex.push_back(VertexObfuscation{
+          .vertex = v,
+          .omega = omega,
+          .entropy_bits = h,
+          .k_anonymity = std::exp2(h),
+          .obfuscated = obfuscated,
+      });
+    }
+  }
+  for (std::size_t w = 0; w < width; ++w) {
+    if (value_seen[w]) ++cert.distinct_omegas;
+  }
+  cert.epsilon_hat =
+      static_cast<double>(cert.not_obfuscated) / static_cast<double>(n);
+  cert.obfuscated = cert.epsilon_hat <= options.epsilon;
+  cert.min_entropy_bits = entropy_min;
+  cert.mean_entropy_bits = entropy_sum / static_cast<double>(n);
+  cert.wall_ms = static_cast<double>(timer.ElapsedNanos()) * 1e-6;
+
+  span.AddCount("vertices", n);
+  span.AddCount("not_obfuscated", cert.not_obfuscated);
+  CHOBS_COUNT("privacy/obf_check/checks", 1);
+  CHOBS_COUNT("privacy/obf_check/vertices", n);
+  CHOBS_COUNT("privacy/obf_check/not_obfuscated", cert.not_obfuscated);
+  EmitPrivacyCheckRecord(cert);
+  return cert;
+}
+
+void EmitPrivacyCheckRecord(const ObfuscationCertificate& certificate) {
+  if (!obs::Enabled()) return;
+  obs::RecordSink* sink = obs::GlobalSink();
+  if (sink == nullptr) return;
+  const std::string line = StrFormat(
+      "{\"type\":\"privacy_check\",\"t_ms\":%llu,\"k\":%.10g,"
+      "\"eps\":%.10g,\"eps_hat\":%.10g,\"obfuscated\":%s,"
+      "\"vertices\":%llu,\"not_obfuscated\":%llu,"
+      "\"min_entropy_bits\":%.10g,\"mean_entropy_bits\":%.10g,"
+      "\"distinct_omegas\":%llu,\"adversary\":\"%s\",\"threads\":%d,"
+      "\"wall_ms\":%.6g}",
+      static_cast<unsigned long long>(WallUnixMillis()), certificate.k,
+      certificate.epsilon, certificate.epsilon_hat,
+      certificate.obfuscated ? "true" : "false",
+      static_cast<unsigned long long>(certificate.vertices),
+      static_cast<unsigned long long>(certificate.not_obfuscated),
+      certificate.min_entropy_bits, certificate.mean_entropy_bits,
+      static_cast<unsigned long long>(certificate.distinct_omegas),
+      std::string(AdversaryModelName(certificate.adversary)).c_str(),
+      certificate.threads, certificate.wall_ms);
+  sink->Write(line);
+}
+
+}  // namespace chameleon::privacy

@@ -1,0 +1,92 @@
+#include "chameleon/privacy/uniqueness.h"
+
+#include <cmath>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/parallel.h"
+#include "chameleon/util/stats.h"
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::privacy {
+namespace {
+
+/// Vertices per scheduling block for the O(n) inner sweep per vertex.
+constexpr std::size_t kSweepBlock = 64;
+
+double SampleStddev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (const double x : values) stats.Add(x);
+  return stats.stddev();
+}
+
+double EvalKernel(Kernel kernel, double x, double bandwidth) {
+  const double z = x / bandwidth;
+  switch (kernel) {
+    case Kernel::kGaussian:
+      return std::exp(-0.5 * z * z);
+    case Kernel::kEpanechnikov:
+      return std::max(0.0, 1.0 - z * z);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double SilvermanBandwidth(const std::vector<double>& values) {
+  if (values.size() < 2) return 1.0;
+  const double sigma = SampleStddev(values);
+  if (sigma <= 0.0) return 1.0;
+  return 1.06 * sigma *
+         std::pow(static_cast<double>(values.size()), -0.2);
+}
+
+double SpreadBandwidth(const std::vector<double>& values) {
+  if (values.size() < 2) return 1.0;
+  const double sigma = SampleStddev(values);
+  return sigma > 0.0 ? sigma : 1.0;
+}
+
+Result<UniquenessScores> ComputeUniqueness(const std::vector<double>& values,
+                                           const UniquenessOptions& options) {
+  if (values.empty()) {
+    return Status::InvalidArgument("uniqueness needs at least one vertex");
+  }
+  if (options.bandwidth < 0.0 || std::isnan(options.bandwidth)) {
+    return Status::InvalidArgument(
+        StrFormat("bandwidth %g must be non-negative", options.bandwidth));
+  }
+  CHOBS_SPAN(span, "privacy/uniqueness");
+  const double bandwidth = options.bandwidth > 0.0
+                               ? options.bandwidth
+                               : SilvermanBandwidth(values);
+
+  const std::size_t n = values.size();
+  UniquenessScores result;
+  result.bandwidth = bandwidth;
+  result.scores.assign(n, 0.0);
+  // Each vertex's commonness is a full population sweep; the inner sum
+  // is sequential in u, so the result is worker-count independent.
+  ParallelForBlocks(
+      n, kSweepBlock, options.threads,
+      [&](std::size_t /*block*/, std::size_t begin, std::size_t end) {
+        for (std::size_t v = begin; v < end; ++v) {
+          double commonness = 0.0;
+          for (std::size_t u = 0; u < n; ++u) {
+            commonness += EvalKernel(options.kernel, values[v] - values[u],
+                                     bandwidth);
+          }
+          // The self term K(0) = 1 bounds commonness below, so U ≤ 1.
+          result.scores[v] = 1.0 / commonness;
+        }
+      });
+  span.AddCount("vertices", n);
+  CHOBS_COUNT("privacy/uniqueness/scored", n);
+  return result;
+}
+
+Result<UniquenessScores> ComputeUniqueness(const graph::UncertainGraph& graph,
+                                           const UniquenessOptions& options) {
+  return ComputeUniqueness(graph.expected_degrees(), options);
+}
+
+}  // namespace chameleon::privacy

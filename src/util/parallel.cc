@@ -1,0 +1,48 @@
+#include "chameleon/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace chameleon {
+
+int EffectiveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelForBlocks(
+    std::size_t n, std::size_t block_size, int threads,
+    const std::function<void(std::size_t block, std::size_t begin,
+                             std::size_t end)>& fn) {
+  if (n == 0 || block_size == 0) return;
+  const std::size_t blocks = NumBlocks(n, block_size);
+  const auto workers = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(EffectiveThreads(threads)),
+                            blocks));
+
+  std::atomic<std::size_t> cursor{0};
+  const auto drain = [&] {
+    for (std::size_t block = cursor.fetch_add(1, std::memory_order_relaxed);
+         block < blocks;
+         block = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      const std::size_t begin = block * block_size;
+      const std::size_t end = std::min(n, begin + block_size);
+      fn(block, begin, end);
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace chameleon

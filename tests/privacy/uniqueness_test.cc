@@ -1,0 +1,144 @@
+#include "chameleon/privacy/uniqueness.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/graph/uncertain_graph.h"
+
+namespace chameleon::privacy {
+namespace {
+
+using graph::UncertainGraph;
+using graph::UncertainGraphBuilder;
+
+TEST(SilvermanBandwidthTest, MatchesRuleOfThumb) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  // Sample stddev of 1..5 is sqrt(2.5).
+  const double expected = 1.06 * std::sqrt(2.5) * std::pow(5.0, -0.2);
+  EXPECT_NEAR(SilvermanBandwidth(values), expected, 1e-12);
+}
+
+TEST(SilvermanBandwidthTest, DegenerateInputsFallBackToOne) {
+  EXPECT_DOUBLE_EQ(SilvermanBandwidth({}), 1.0);
+  EXPECT_DOUBLE_EQ(SilvermanBandwidth({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SilvermanBandwidth({2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(SpreadBandwidthTest, IsTheSampleStddev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(SpreadBandwidth(values), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(SpreadBandwidth({7.0, 7.0}), 1.0);
+}
+
+TEST(ComputeUniquenessTest, IdenticalPopulationSharesOneScore) {
+  // Every vertex contributes K(0) = 1 to every other: C = n, U = 1/n.
+  const std::vector<double> values(10, 4.0);
+  UniquenessOptions options;
+  const Result<UniquenessScores> scores = ComputeUniqueness(values, options);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->scores.size(), 10u);
+  for (const double u : scores->scores) EXPECT_NEAR(u, 0.1, 1e-12);
+}
+
+TEST(ComputeUniquenessTest, OutlierIsMoreUnique) {
+  // Nine clustered values and one far outlier: the outlier's commonness
+  // is ~1 (just itself), so its uniqueness approaches the upper bound.
+  std::vector<double> values(9, 2.0);
+  values.push_back(100.0);
+  UniquenessOptions options;
+  const Result<UniquenessScores> scores = ComputeUniqueness(values, options);
+  ASSERT_TRUE(scores.ok());
+  const double clustered = scores->scores[0];
+  const double outlier = scores->scores[9];
+  EXPECT_GT(outlier, clustered);
+  // The cluster sits ~4.7 bandwidths away, contributing ~1e-4 total.
+  EXPECT_NEAR(outlier, 1.0, 1e-3);
+  EXPECT_LE(outlier, 1.0);
+  for (const double u : scores->scores) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(ComputeUniquenessTest, MatchesDirectKernelSum) {
+  const std::vector<double> values = {0.0, 1.0, 1.5, 4.0, 4.2};
+  UniquenessOptions options;
+  options.bandwidth = 0.8;
+  const Result<UniquenessScores> scores = ComputeUniqueness(values, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->bandwidth, 0.8);
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    double commonness = 0.0;
+    for (const double u : values) {
+      const double z = (values[v] - u) / 0.8;
+      commonness += std::exp(-0.5 * z * z);
+    }
+    EXPECT_NEAR(scores->scores[v], 1.0 / commonness, 1e-12);
+  }
+}
+
+TEST(ComputeUniquenessTest, EpanechnikovHasCompactSupport) {
+  const std::vector<double> values = {0.0, 10.0};
+  UniquenessOptions options;
+  options.kernel = Kernel::kEpanechnikov;
+  options.bandwidth = 1.0;
+  const Result<UniquenessScores> scores = ComputeUniqueness(values, options);
+  ASSERT_TRUE(scores.ok());
+  // The other vertex is outside the kernel support: C = 1, U = 1.
+  EXPECT_DOUBLE_EQ(scores->scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores->scores[1], 1.0);
+}
+
+TEST(ComputeUniquenessTest, RejectsBadInputs) {
+  UniquenessOptions options;
+  EXPECT_FALSE(ComputeUniqueness(std::vector<double>{}, options).ok());
+  options.bandwidth = -1.0;
+  EXPECT_FALSE(ComputeUniqueness(std::vector<double>{1.0}, options).ok());
+  options.bandwidth = std::nan("");
+  EXPECT_FALSE(ComputeUniqueness(std::vector<double>{1.0}, options).ok());
+}
+
+TEST(ComputeUniquenessTest, DeterministicAcrossWorkerCounts) {
+  std::vector<double> values;
+  values.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(std::sin(static_cast<double>(i)) * 10.0);
+  }
+  UniquenessOptions serial;
+  serial.threads = 1;
+  UniquenessOptions parallel;
+  parallel.threads = 8;
+  const Result<UniquenessScores> a = ComputeUniqueness(values, serial);
+  const Result<UniquenessScores> b = ComputeUniqueness(values, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->scores.size(), b->scores.size());
+  for (std::size_t v = 0; v < a->scores.size(); ++v) {
+    EXPECT_EQ(a->scores[v], b->scores[v]) << "vertex " << v;
+  }
+}
+
+TEST(ComputeUniquenessTest, GraphOverloadUsesExpectedDegrees) {
+  // Star: the center's expected degree (2.7) is far from the leaves'
+  // (0.9), so the center is the most unique vertex.
+  UncertainGraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0.9).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3, 0.9).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  UniquenessOptions options;
+  const Result<UniquenessScores> from_graph = ComputeUniqueness(*g, options);
+  const Result<UniquenessScores> from_values =
+      ComputeUniqueness(g->expected_degrees(), options);
+  ASSERT_TRUE(from_graph.ok());
+  ASSERT_TRUE(from_values.ok());
+  EXPECT_EQ(from_graph->scores, from_values->scores);
+  EXPECT_GT(from_graph->scores[0], from_graph->scores[1]);
+}
+
+}  // namespace
+}  // namespace chameleon::privacy

@@ -1,0 +1,166 @@
+// Forward-compatibility contract of the JSONL readers (ISSUE 5): a
+// metrics stream written by a newer library — containing record types
+// this build has never heard of — must still render through
+// chameleon_obs_dump and chameleon_watch. Unknown types pass through
+// with one debug note per type, count toward the record total, and are
+// never a per-record warning or an error. Drives the real tool binaries
+// (paths injected by CMake) over crafted streams.
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+/// Runs `command`, capturing stdout via popen and stderr via a temp
+/// file redirection.
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  const std::string stderr_path = testing::TempDir() + "/fc_stderr.txt";
+  const std::string full = command + " 2>" + stderr_path;
+  std::FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream err(stderr_path);
+  result.stderr_text.assign(std::istreambuf_iterator<char>(err),
+                            std::istreambuf_iterator<char>());
+  std::remove(stderr_path.c_str());
+  return result;
+}
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string WriteStream(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+/// A stream mixing known records, a privacy_check, and three records of
+/// a type from "the future".
+std::string MixedStream() {
+  return
+      "{\"type\":\"manifest\",\"tool\":\"future_tool\","
+      "\"git_describe\":\"v9\"}\n"
+      "{\"type\":\"privacy_check\",\"t_ms\":1,\"k\":8,\"eps\":0.05,"
+      "\"eps_hat\":0.1111,\"obfuscated\":false,\"vertices\":9,"
+      "\"not_obfuscated\":1,\"min_entropy_bits\":0,"
+      "\"mean_entropy_bits\":2.67,\"distinct_omegas\":2,"
+      "\"adversary\":\"expected_degree\",\"threads\":1,\"wall_ms\":0.1}\n"
+      "{\"type\":\"quantum_flux\",\"t_ms\":2,\"q\":1}\n"
+      "{\"type\":\"quantum_flux\",\"t_ms\":3,\"q\":2}\n"
+      "{\"type\":\"quantum_flux\",\"t_ms\":4,\"q\":3}\n"
+      "{\"type\":\"run_summary\",\"t_ms\":5,\"wall_ms\":12.5}\n";
+}
+
+TEST(ObsDumpForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
+  const std::string path = WriteStream("fc_mixed.jsonl", MixedStream());
+  const RunResult result = RunCommand(std::string(OBS_DUMP_BIN) + " " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  // One note for three records of the unknown type — never per record.
+  EXPECT_EQ(CountOccurrences(result.stderr_text, "quantum_flux"), 1u)
+      << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find("unknown type"), std::string::npos);
+  // The privacy_check record renders.
+  EXPECT_NE(result.stdout_text.find("privacy checks:"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("VIOLATED"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsDumpForwardCompatTest, OnlyUnknownTypesIsNotAnError) {
+  const std::string path = WriteStream(
+      "fc_unknown.jsonl",
+      "{\"type\":\"quantum_flux\",\"t_ms\":1}\n"
+      "{\"type\":\"tachyon_burst\",\"t_ms\":2}\n");
+  const RunResult result = RunCommand(std::string(OBS_DUMP_BIN) + " " + path);
+  // Typed records exist, so this is a valid (if empty-looking) stream.
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(CountOccurrences(result.stderr_text, "quantum_flux"), 1u);
+  EXPECT_EQ(CountOccurrences(result.stderr_text, "tachyon_burst"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsDumpForwardCompatTest, StreamWithNoTypedRecordsStillFails) {
+  const std::string path =
+      WriteStream("fc_garbage.jsonl", "not json at all\n{\"a\":1}\n");
+  const RunResult result = RunCommand(std::string(OBS_DUMP_BIN) + " " + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find("no chameleon obs records"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WatchForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
+  const std::string path = WriteStream("fc_watch.jsonl", MixedStream());
+  const RunResult result =
+      RunCommand(std::string(WATCH_BIN) + " --once " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(CountOccurrences(result.stderr_text, "quantum_flux"), 1u)
+      << result.stderr_text;
+  // privacy_check renders as a human line; the summary closes the run.
+  EXPECT_NE(result.stdout_text.find("obfuscation VIOLATED"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("run finished"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ToolSmokeTest, ObfCheckClassifiesCommittedFixtures) {
+  // The CLI end of the CI smoke: both committed fixtures run through
+  // the real binary and land on the expected verdicts.
+  const std::string dir = CHAMELEON_EXAMPLES_DIR;
+  const RunResult good = RunCommand(std::string(OBF_CHECK_BIN) +
+                                    " --k=8 --eps=0.05 " + dir +
+                                    "/graphs/cycle_obfuscated.edges");
+  EXPECT_EQ(good.exit_code, 0) << good.stderr_text;
+  EXPECT_NE(good.stdout_text.find("SATISFIED"), std::string::npos)
+      << good.stdout_text;
+
+  const RunResult bad = RunCommand(std::string(OBF_CHECK_BIN) +
+                                   " --k=8 --eps=0.05 " + dir +
+                                   "/graphs/star_not_obfuscated.edges");
+  EXPECT_EQ(bad.exit_code, 0) << bad.stderr_text;
+  EXPECT_NE(bad.stdout_text.find("VIOLATED"), std::string::npos)
+      << bad.stdout_text;
+
+  // Usage errors exit 2.
+  const RunResult usage = RunCommand(std::string(OBF_CHECK_BIN));
+  EXPECT_EQ(usage.exit_code, 2);
+  // Runtime errors (missing graph) exit 1.
+  const RunResult missing =
+      RunCommand(std::string(OBF_CHECK_BIN) + " /nonexistent.edges");
+  EXPECT_EQ(missing.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace chameleon

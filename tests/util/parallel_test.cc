@@ -1,0 +1,88 @@
+#include "chameleon/util/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+TEST(EffectiveThreadsTest, PositiveRequestIsHonored) {
+  EXPECT_EQ(EffectiveThreads(1), 1);
+  EXPECT_EQ(EffectiveThreads(8), 8);
+}
+
+TEST(EffectiveThreadsTest, NonPositiveFallsBackToHardware) {
+  EXPECT_GE(EffectiveThreads(0), 1);
+  EXPECT_GE(EffectiveThreads(-3), 1);
+}
+
+TEST(NumBlocksTest, RoundsUp) {
+  EXPECT_EQ(NumBlocks(0, 4), 0u);
+  EXPECT_EQ(NumBlocks(1, 4), 1u);
+  EXPECT_EQ(NumBlocks(4, 4), 1u);
+  EXPECT_EQ(NumBlocks(5, 4), 2u);
+  EXPECT_EQ(NumBlocks(8, 4), 2u);
+}
+
+TEST(ParallelForBlocksTest, EveryIndexVisitedExactlyOnce) {
+  constexpr std::size_t kN = 1003;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelForBlocks(kN, 17, 8,
+                    [&](std::size_t /*block*/, std::size_t begin,
+                        std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        visits[i].fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForBlocksTest, BlockBoundariesIndependentOfWorkerCount) {
+  constexpr std::size_t kN = 259;
+  constexpr std::size_t kBlock = 32;
+  const auto collect = [&](int threads) {
+    std::mutex mu;
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t>> triples;
+    ParallelForBlocks(kN, kBlock, threads,
+                      [&](std::size_t block, std::size_t begin,
+                          std::size_t end) {
+                        const std::lock_guard<std::mutex> lock(mu);
+                        triples.insert({block, begin, end});
+                      });
+    return triples;
+  };
+  const auto serial = collect(1);
+  const auto parallel = collect(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.size(), NumBlocks(kN, kBlock));
+  // The final block is the short tail.
+  EXPECT_TRUE(serial.count({8, 256, 259}));
+}
+
+TEST(ParallelForBlocksTest, EmptyRangeNeverInvokes) {
+  bool invoked = false;
+  ParallelForBlocks(0, 16, 4,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      invoked = true;
+                    });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ParallelForBlocksTest, MoreThreadsThanBlocksIsFine) {
+  std::atomic<std::size_t> total{0};
+  ParallelForBlocks(10, 100, 16,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      total.fetch_add(end - begin);
+                    });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -70,13 +70,32 @@ struct ProfileCapture {
   std::vector<std::pair<std::string, double>> spans;
 };
 
+/// One "privacy_check" record: a (k,ε)-obfuscation verification.
+struct PrivacyCheckRow {
+  double k = 0.0;
+  double eps = 0.0;
+  double eps_hat = 0.0;
+  bool obfuscated = false;
+  double vertices = 0.0;
+  double not_obfuscated = 0.0;
+  double min_entropy_bits = 0.0;
+  double mean_entropy_bits = 0.0;
+  std::string adversary;
+  double wall_ms = 0.0;
+};
+
 struct DumpResult {
   std::map<std::string, PhaseAggregate> phases;
   std::map<std::string, ConvergenceRow> estimators;
   std::vector<std::pair<std::string, double>> summary_counters;
   std::vector<GraphSummaryRow> graph_summaries;
   std::vector<ProfileCapture> profiles;
+  std::vector<PrivacyCheckRow> privacy_checks;
+  /// Distinct record types this build does not recognize (forward-compat
+  /// passthrough: counted, mentioned once each on stderr, never fatal).
+  std::map<std::string, std::size_t> unknown_types;
   double run_wall_ms = -1.0;
+  std::size_t typed_records = 0;  ///< every record with a "type" field
   std::size_t span_records = 0;
   std::size_t progress_records = 0;
   std::size_t snapshot_records = 0;
@@ -152,6 +171,7 @@ Result<DumpResult> Load(const std::string& path) {
   while (std::getline(in, line)) {
     const auto type = obs::JsonlStringField(line, "type");
     if (!type.has_value()) continue;
+    ++out.typed_records;
     if (*type == "span") {
       const auto span_path = obs::JsonlStringField(line, "path");
       const auto dur = obs::JsonlNumberField(line, "dur_ns");
@@ -206,13 +226,31 @@ Result<DumpResult> Load(const std::string& path) {
       capture.dropped = obs::JsonlNumberField(line, "dropped").value_or(0.0);
       ExtractFlatNumberObject(line, "\"spans\":{", &capture.spans);
       out.profiles.push_back(std::move(capture));
+    } else if (*type == "privacy_check") {
+      PrivacyCheckRow row;
+      row.k = obs::JsonlNumberField(line, "k").value_or(0.0);
+      row.eps = obs::JsonlNumberField(line, "eps").value_or(0.0);
+      row.eps_hat = obs::JsonlNumberField(line, "eps_hat").value_or(0.0);
+      row.obfuscated = line.find("\"obfuscated\":true") != std::string::npos;
+      row.vertices = obs::JsonlNumberField(line, "vertices").value_or(0.0);
+      row.not_obfuscated =
+          obs::JsonlNumberField(line, "not_obfuscated").value_or(0.0);
+      row.min_entropy_bits =
+          obs::JsonlNumberField(line, "min_entropy_bits").value_or(0.0);
+      row.mean_entropy_bits =
+          obs::JsonlNumberField(line, "mean_entropy_bits").value_or(0.0);
+      row.adversary = obs::JsonlStringField(line, "adversary").value_or("?");
+      row.wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
+      out.privacy_checks.push_back(std::move(row));
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
       if (wall.has_value()) out.run_wall_ms = *wall;
       out.summary_line = line;
       ExtractSummaryCounters(line, &out);
-    } else if (*type == "manifest" && out.manifest_line.empty()) {
-      out.manifest_line = line;
+    } else if (*type == "manifest") {
+      if (out.manifest_line.empty()) out.manifest_line = line;
+    } else if (*type != "status_server") {
+      ++out.unknown_types[*type];
     }
   }
   ComputeSelfTimes(&out.phases);
@@ -373,6 +411,20 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
     }
   }
 
+  if (!dump.privacy_checks.empty()) {
+    std::printf("\nprivacy checks:\n");
+    std::printf("%10s %10s %10s %9s %10s %10s %10s  %s\n", "k", "eps",
+                "eps_hat", "verdict", "exposed", "min bits", "mean bits",
+                "adversary");
+    for (const PrivacyCheckRow& row : dump.privacy_checks) {
+      std::printf("%10.4g %10.4g %10.4g %9s %10.0f %10.4g %10.4g  %s\n",
+                  row.k, row.eps, row.eps_hat,
+                  row.obfuscated ? "OK" : "VIOLATED", row.not_obfuscated,
+                  row.min_entropy_bits, row.mean_entropy_bits,
+                  row.adversary.c_str());
+    }
+  }
+
   if (!dump.profiles.empty()) {
     const ProfileCapture& last = dump.profiles.back();
     std::printf("\nprofile: %.0f samples at %.0f Hz over %.1f ms "
@@ -489,8 +541,16 @@ int Run(int argc, char** argv) {
   if (flags.GetBool("flame")) {
     return PrintFlame(*dump, flags.GetInt64("top"));
   }
-  if (dump->phases.empty() && dump->summary_counters.empty() &&
-      dump->estimators.empty()) {
+  // Forward-compat: one debug note per distinct unrecognized type. A
+  // stream written by a newer tool still dumps — whatever this build
+  // understands is rendered, the rest passes through.
+  for (const auto& [type, count] : dump->unknown_types) {
+    std::fprintf(stderr,
+                 "note: passing through %zu record(s) of unknown type "
+                 "\"%s\"\n",
+                 count, type.c_str());
+  }
+  if (dump->typed_records == 0) {
     std::fprintf(stderr,
                  "%s: no chameleon obs records found (is it a metrics "
                  "JSONL?)\n",

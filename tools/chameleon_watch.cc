@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -32,13 +33,18 @@ namespace {
 
 struct WatchState {
   std::map<std::string, std::string> last_estimator_line;
+  std::set<std::string> unknown_types_noted;
   std::size_t records = 0;
   bool summary_seen = false;
   double wall_ms = 0.0;
 };
 
 /// Renders one JSONL record as a human line; empty string for record
-/// types the watcher does not surface (spans, snapshots).
+/// types the watcher does not surface (spans, snapshots). Unknown types
+/// are forward-compatible passthrough: they count toward the record
+/// total and produce one stderr note per type, never a per-record
+/// warning — newer writers may emit records this build has never heard
+/// of.
 std::string RenderRecord(const std::string& line, WatchState* state) {
   const auto type = obs::JsonlStringField(line, "type");
   if (!type.has_value()) return "";
@@ -113,6 +119,23 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
         "profile captured: %.0f samples at %.0f Hz (%.0f dropped)\n",
         samples, hz, dropped);
   }
+  if (*type == "privacy_check") {
+    const double k = obs::JsonlNumberField(line, "k").value_or(0.0);
+    const double eps = obs::JsonlNumberField(line, "eps").value_or(0.0);
+    const double eps_hat =
+        obs::JsonlNumberField(line, "eps_hat").value_or(0.0);
+    const double vertices =
+        obs::JsonlNumberField(line, "vertices").value_or(0.0);
+    const double not_obf =
+        obs::JsonlNumberField(line, "not_obfuscated").value_or(0.0);
+    const bool obfuscated =
+        line.find("\"obfuscated\":true") != std::string::npos;
+    return StrFormat(
+        "(k=%.4g, eps=%.4g)-obfuscation %s: eps_hat=%.6g "
+        "(%.0f/%.0f vertices exposed)\n",
+        k, eps, obfuscated ? "SATISFIED" : "VIOLATED", eps_hat, not_obf,
+        vertices);
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
@@ -122,6 +145,12 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
       text += StrFormat(" (killed by signal %.0f)", *signal);
     }
     return text + "\n";
+  }
+  if (*type != "span" && *type != "snapshot" &&
+      state->unknown_types_noted.insert(*type).second) {
+    std::fprintf(stderr,
+                 "note: passing through unknown record type \"%s\"\n",
+                 type->c_str());
   }
   return "";
 }
