@@ -1,0 +1,63 @@
+#ifndef CHAMELEON_OBS_CRASH_HANDLER_H_
+#define CHAMELEON_OBS_CRASH_HANDLER_H_
+
+/// Crash forensics: a fatal-signal handler for SIGSEGV / SIGABRT /
+/// SIGBUS / SIGFPE that turns a dying process into evidence. On the
+/// first fatal signal it writes to the JSONL stream:
+///
+///   1. a `crash` record — signal, faulting address, si_code, the
+///      active span path, process rusage, and a symbolized
+///      frame-pointer backtrace (reusing the profiler's walker and
+///      symbolizer);
+///   2. a `flight_event_dump` record — every thread's flight-recorder
+///      ring tail (via FinalizeRunForSignal);
+///   3. the signal-annotated `run_summary`;
+///
+/// then restores the default disposition and re-raises, so the process
+/// still dies by the original signal (correct wait status, core dumps
+/// where ulimits allow).
+///
+/// Safety model, in two phases. Before the handler claims the one-shot
+/// crash flag and arms a hard `alarm()` deadline, it is strictly
+/// async-signal-safe: the stack walk is the profiler's bounds-checked
+/// loop, no locks, no allocation. After the claim it deliberately
+/// breaks the rules — symbolization and JSON composition allocate —
+/// because the process is already dead and the alternative is learning
+/// nothing from a multi-hour run. That is the same documented trade-off
+/// as FinalizeRun on SIGINT; a handler that wedges (e.g. a lock held by
+/// the crashed thread) is killed by the alarm, and SA_RESETHAND makes a
+/// recursive fault die immediately by default disposition.
+
+#include "chameleon/util/status.h"
+
+namespace chameleon {
+namespace obs {
+
+struct CrashHandlerOptions {
+  /// Also dump the flight recorder + run_summary via
+  /// FinalizeRunForSignal after the crash record.
+  bool finalize_run = true;
+  /// Hard deadline, in seconds, between handler entry and process
+  /// death: alarm() with default SIGALRM disposition kills the process
+  /// if forensics wedge on a lock the crashed thread held.
+  unsigned deadline_seconds = 5;
+};
+
+/// Installs the handlers (idempotent; later calls update the options).
+/// Also registers the calling thread with the profiler so its stack
+/// bounds are known to the walker. Returns FailedPrecondition /
+/// Unimplemented on builds without signal forensics (CHAMELEON_OBS=OFF
+/// or non-Linux); tools treat that as a warning, not an error.
+Status InstallCrashHandler(const CrashHandlerOptions& options = {});
+
+/// True once InstallCrashHandler succeeded in this process.
+bool CrashHandlerInstalled();
+
+/// "SIGSEGV" / "SIGABRT" / "SIGBUS" / "SIGFPE", or "signal" for
+/// anything else. Async-signal-safe (static strings).
+const char* CrashSignalName(int signal_number);
+
+}  // namespace obs
+}  // namespace chameleon
+
+#endif  // CHAMELEON_OBS_CRASH_HANDLER_H_

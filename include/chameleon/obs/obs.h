@@ -63,6 +63,14 @@ Status InitObservability(const ObsOptions& options = {});
 /// No-op when disabled.
 void ShutdownObservability();
 
+/// Finalizes the run exactly as the termination hooks do on a fatal
+/// signal: stops the status server, watchdog, and profiler, dumps the
+/// flight recorder, then writes a run_summary annotated with
+/// `signal_number` (>= 0). Idempotent (the first finalizer wins). The
+/// crash handler calls this after its `crash` record; normal code wants
+/// ShutdownObservability() instead.
+void FinalizeRunForSignal(int signal_number);
+
 /// Runtime switch; one relaxed atomic load.
 bool Enabled();
 

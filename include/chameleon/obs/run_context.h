@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "chameleon/util/status.h"
+
 /// \file run_context.h
 /// Run provenance: which build, config, seeds, and host produced a JSONL
 /// stream. A RunManifest is emitted as the first record of a run
@@ -100,6 +102,13 @@ class RunManifest {
 /// observability is disabled; call right after InitObservability() so the
 /// manifest is the stream's first record.
 void EmitRunManifest(const RunManifest& manifest);
+
+/// Installs the crash-forensics handlers (SIGSEGV/SIGABRT/SIGBUS/SIGFPE
+/// -> `crash` record + flight-recorder dump + signal-annotated
+/// run_summary, then re-raise; see crash_handler.h). The one call every
+/// tool main() makes right after flag parsing; failure (OBS=OFF builds,
+/// non-Linux) is a warning, never fatal.
+Status InstallCrashForensics();
 
 }  // namespace chameleon::obs
 

@@ -45,6 +45,21 @@
 ///    "not_obfuscated":M, "min_entropy_bits":..., "mean_entropy_bits":...,
 ///    "distinct_omegas":D, "adversary":..., "threads":T, "wall_ms":...}
 ///    — one (k,ε)-obfuscation verification (privacy/obfuscation.h)
+///   {"type":"crash", "t_ms":..., "signal":N, "signal_name":...,
+///    "si_code":..., "fault_addr":..., "tid":..., "span_path":...,
+///    "frames":[..],
+///    "rusage":{..}}  — written by the crash handler before the process
+///    re-raises; "frames" is the symbolized backtrace, innermost first
+///   {"type":"flight_event_dump", "t_ms":..., "signal":N?, "threads":T,
+///    "events":E, "recorded":R, "dropped":D, "tail":[..], "rings":[..]}
+///    — flight-recorder contents, written when a signal ends the run
+///    (crash, SIGINT/SIGTERM, watchdog abort); "tail" merges the last
+///    events across threads oldest→newest, "rings" holds the
+///    per-thread event objects; "signal" omitted for plain API dumps
+///   {"type":"watchdog_stall", "t_ms":..., "path":..., "tid":...,
+///    "idle_ms":..., "open_ms":..., "stall_seconds":...,
+///    "aborting":bool}  — stall watchdog verdict for one idle open span;
+///    "aborting":true on the record that precedes SIGABRT escalation
 /// Writers format the line; sinks only append and are thread-safe.
 ///
 /// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"

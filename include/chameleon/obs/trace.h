@@ -61,6 +61,14 @@ std::uint32_t InternSpanPath(std::string_view path);
 /// signal handler.
 std::string SpanPathForId(std::uint32_t id);
 
+/// Try-lock variant for fatal-signal context: resolves `id` into *path
+/// and returns true, or returns false (leaving *path untouched) instead
+/// of blocking when the intern mutex is contended — e.g. when the
+/// crashing thread faulted inside InternSpanPath itself. Still
+/// allocates, so it shares the crash handler's documented
+/// best-effort-after-claim doctrine rather than being signal-safe.
+bool TrySpanPathForId(std::uint32_t id, std::string* path);
+
 /// Id of the innermost open span on the calling thread (0 = none), across
 /// all tracers. Reads one thread-local word, so the sampling profiler's
 /// SIGPROF handler can call it async-signal-safely to attribute a sample

@@ -17,9 +17,10 @@
 namespace chameleon {
 
 /// Resolves a requested worker count: values < 1 mean "use the hardware
-/// concurrency" (at least 1). The result is additionally capped at the
-/// number of blocks by ParallelForBlocks, so callers can pass the
-/// user-facing --threads flag straight through.
+/// concurrency" (at least 1). Explicit requests pass through verbatim;
+/// ParallelForBlocks applies its own clamps (block count, real cores,
+/// minimum grain) on top, so callers can pass the user-facing --threads
+/// flag straight through.
 int EffectiveThreads(int requested);
 
 /// Number of fixed-size blocks covering [0, n).
@@ -31,9 +32,14 @@ inline std::size_t NumBlocks(std::size_t n, std::size_t block_size) {
 /// consecutive indices in [0, n), using up to `threads` workers (< 1 =
 /// hardware concurrency). Blocks are claimed dynamically but their
 /// boundaries are fixed, so `fn` sees the same (block, begin, end)
-/// triples regardless of the worker count. Runs inline (no threads
-/// spawned) when a single worker suffices. `fn` must be thread-safe
-/// across distinct blocks and must not throw.
+/// triples regardless of the worker count — worker count is purely a
+/// scheduling choice, so output stays bit-identical as the clamps
+/// change. The effective worker count is capped at the block count, the
+/// hardware concurrency (oversubscription only adds contention), and a
+/// minimum grain of ~1024 items per spawned worker (below that, thread
+/// startup costs more than the parallelism returns — tiny inputs run
+/// inline on the caller with no threads spawned). `fn` must be
+/// thread-safe across distinct blocks and must not throw.
 void ParallelForBlocks(
     std::size_t n, std::size_t block_size, int threads,
     const std::function<void(std::size_t block, std::size_t begin,

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates the crash-forensics trail in a chameleon metrics JSONL file.
+
+Usage: check_crash.py <metrics.jsonl> [--signal=N] [--min-frames=K]
+           [--require-span] [--no-flight]
+
+Passes when the stream holds a "crash" record whose signal matches
+--signal (when given), whose backtrace has at least --min-frames frames
+with at least one of them symbolized (a frame that names a function, not
+just a "module+0x..." fallback), and — unless --no-flight — a
+"flight_event_dump" record with at least one event. --require-span
+additionally demands the crash record name the span that was open at the
+fault. Exits 0 on success, 1 on a validation failure, 2 on usage errors.
+"""
+import json
+import sys
+
+
+def is_symbolized(frame):
+    """A frame counts as symbolized when it names a function. The two
+    fallback shapes — "module+0xoffset" when dladdr finds no symbol and
+    bare "0xaddress" when it finds no module — both fail this test."""
+    return ("+0x" not in frame and not frame.startswith("0x")
+            and any(c.isalpha() for c in frame))
+
+
+def load_records(path):
+    crashes, dumps, summaries = [], [], []
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as err:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {err}") from err
+            kind = obj.get("type")
+            if kind == "crash":
+                crashes.append(obj)
+            elif kind == "flight_event_dump":
+                dumps.append(obj)
+            elif kind == "run_summary":
+                summaries.append(obj)
+    return crashes, dumps, summaries
+
+
+def main() -> int:
+    want_signal = None
+    min_frames = 1
+    require_span = False
+    check_flight = True
+    positional = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--signal="):
+            want_signal = int(arg.split("=", 1)[1])
+        elif arg.startswith("--min-frames="):
+            min_frames = int(arg.split("=", 1)[1])
+        elif arg == "--require-span":
+            require_span = True
+        elif arg == "--no-flight":
+            check_flight = False
+        else:
+            positional.append(arg)
+    if len(positional) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    path = positional[0]
+    try:
+        crashes, dumps, summaries = load_records(path)
+    except (OSError, ValueError) as err:
+        print(err, file=sys.stderr)
+        return 1
+
+    if not crashes:
+        print(f"{path}: no crash record", file=sys.stderr)
+        return 1
+    crash = crashes[-1]
+
+    if want_signal is not None and crash.get("signal") != want_signal:
+        print(f"{path}: crash signal {crash.get('signal')} != expected "
+              f"{want_signal}", file=sys.stderr)
+        return 1
+
+    frames = crash.get("frames", [])
+    if len(frames) < min_frames:
+        print(f"{path}: only {len(frames)} backtrace frames "
+              f"(need {min_frames}): {frames}", file=sys.stderr)
+        return 1
+    symbolized = [f for f in frames if is_symbolized(f)]
+    if not symbolized:
+        print(f"{path}: no symbolized frame in backtrace (build with "
+              f"-rdynamic / CMAKE_ENABLE_EXPORTS?): {frames}",
+              file=sys.stderr)
+        return 1
+
+    if require_span and not crash.get("span_path"):
+        print(f"{path}: crash record has no span_path", file=sys.stderr)
+        return 1
+
+    if check_flight:
+        if not dumps:
+            print(f"{path}: no flight_event_dump record", file=sys.stderr)
+            return 1
+        dump = dumps[-1]
+        if dump.get("events", 0) < 1:
+            print(f"{path}: flight_event_dump holds no events",
+                  file=sys.stderr)
+            return 1
+
+    summary_note = ""
+    if summaries and "signal" in summaries[-1]:
+        summary_note = f", run_summary signal {summaries[-1]['signal']}"
+    print(f"crash trail OK: {crash.get('signal_name', '?')} "
+          f"(signal {crash.get('signal')}), {len(frames)} frames "
+          f"({len(symbolized)} symbolized)"
+          + (f", span {crash['span_path']}" if crash.get("span_path") else "")
+          + (f", flight dump with {dumps[-1]['events']} events"
+             if check_flight else "")
+          + summary_note)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
 #include "chameleon/graph/io.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
+#include "chameleon/obs/flight_recorder.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -54,6 +57,8 @@ Result<UncertainGraph> ParseEdgeList(std::istream& in,
                                      std::string_view origin) {
   CHOBS_SPAN(span, "graph/io/parse_edge_list");
   std::vector<UncertainEdge> edges;
+  std::vector<std::size_t> edge_lines;  // 1-based source line per edge
+  std::unordered_set<std::uint64_t> seen_edges;
   NodeId declared_nodes = 0;
   bool has_declared_nodes = false;
   NodeId max_node = 0;
@@ -94,17 +99,36 @@ Result<UncertainGraph> ParseEdgeList(std::istream& in,
     }
     const auto nu = static_cast<NodeId>(*u);
     const auto nv = static_cast<NodeId>(*v);
+    // Duplicates are otherwise only caught in Build(), after the line
+    // numbers are gone; catching them here keeps the diagnostic exact.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(nu, nv)) << 32) |
+        std::max(nu, nv);
+    if (nu != nv && !seen_edges.insert(key).second) {
+      return Status::InvalidArgument(
+          StrFormat("%.*s:%zu: duplicate edge (%u, %u)",
+                    static_cast<int>(origin.size()), origin.data(),
+                    line_number, nu, nv));
+    }
     max_node = std::max({max_node, nu, nv});
     edges.push_back(UncertainEdge{nu, nv, *p});
+    edge_lines.push_back(line_number);
   }
 
   const NodeId num_nodes =
       has_declared_nodes ? declared_nodes
                          : (edges.empty() ? 0 : max_node + 1);
   UncertainGraphBuilder builder(num_nodes);
-  for (const UncertainEdge& e : edges) {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const UncertainEdge& e = edges[i];
     if (Status s = builder.AddEdge(e.u, e.v, e.p); !s.ok()) {
-      return Status(s.code(), std::string(origin) + ": " + s.message());
+      // Semantic rejects (self-loop, duplicate, out-of-range node) name
+      // the offending source line, same as the syntax errors above — on
+      // a million-line input "duplicate edge" alone is undiagnosable.
+      return Status(s.code(),
+                    StrFormat("%.*s:%zu: %s",
+                              static_cast<int>(origin.size()), origin.data(),
+                              edge_lines[i], s.message().c_str()));
     }
   }
   Result<UncertainGraph> graph = std::move(builder).Build();
@@ -112,6 +136,8 @@ Result<UncertainGraph> ParseEdgeList(std::istream& in,
     span.AddCount("lines", line_number);
     span.AddCount("edges", graph->num_edges());
     CHOBS_COUNT("graph/io/edges_read", graph->num_edges());
+    CHOBS_FLIGHT_EVENT(kGraphOp, origin, graph->num_nodes(),
+                       graph->num_edges());
     EmitGraphSummary(*graph, origin);
   }
   return graph;
@@ -138,6 +164,7 @@ Status WriteEdgeList(const UncertainGraph& graph, const std::string& path) {
   if (!out) return Status::IoError("write failed: " + path);
   span.AddCount("edges", graph.num_edges());
   CHOBS_COUNT("graph/io/edges_written", graph.num_edges());
+  CHOBS_FLIGHT_EVENT(kGraphOp, path, graph.num_nodes(), graph.num_edges());
   return Status::OK();
 }
 

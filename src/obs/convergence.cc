@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chameleon/obs/flight_recorder.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -145,6 +146,9 @@ void ConvergenceTracker::MaybeEmitLocked() {
 void ConvergenceTracker::EmitLocked(bool final, bool stopped_early) {
   if (options_.sink == nullptr) return;
   const ConvergenceSnapshot s = SnapshotLocked();
+  // Estimator checkpoints feed the flight recorder / watchdog activity
+  // pulse (lock-free; mu_ being held here is irrelevant to it).
+  CHOBS_FLIGHT_EVENT(kCheckpoint, label_, s.samples, 0);
   std::string line = StrFormat(
       "{\"type\":\"estimator_progress\",\"label\":\"%s\",\"t_ms\":%llu,"
       "\"samples\":%llu,\"mean\":%.9g,\"stddev\":%.9g,"

@@ -8,9 +8,11 @@
 #include <utility>
 #include <vector>
 
+#include "chameleon/obs/flight_recorder.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/status_server.h"
+#include "chameleon/obs/watchdog.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -53,6 +55,11 @@ void FinalizeRun(int signal_number) {
   // runs on a worker thread.
   StopGlobalStatusServer();
 
+  // The watchdog writes records from its own thread; it must fall
+  // silent before the summary marks the stream complete. Its thread
+  // blocks SIGINT/SIGTERM too, so the join is safe from the handler.
+  StopGlobalWatchdog();
+
   // A still-running profiler flushes next (folded file + "profile"
   // record), before the summary, for the same reason: the summary marks
   // the stream complete. The drainer thread also blocks SIGINT/SIGTERM,
@@ -73,6 +80,12 @@ void FinalizeRun(int signal_number) {
     run_start = g_run_start_nanos;
   }
   if (sink == nullptr) return;
+
+  // Abnormal exits (fatal signal, SIGINT/SIGTERM) dump the flight
+  // recorder before the summary, so a killed run leaves its last few
+  // hundred events next to the evidence of how it died. Clean shutdowns
+  // skip it: the full JSONL stream already tells the story.
+  if (signal_number >= 0) EmitFlightRecorderDump(sink, signal_number);
 
   const double wall_ms =
       static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
@@ -207,6 +220,8 @@ Status InitObservability(const ObsOptions& options) {
 }
 
 void ShutdownObservability() { FinalizeRun(-1); }
+
+void FinalizeRunForSignal(int signal_number) { FinalizeRun(signal_number); }
 
 void EmitSnapshot(std::string_view label) {
   if (!Enabled()) return;

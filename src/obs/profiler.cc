@@ -4,6 +4,8 @@
 
 #include "chameleon/obs/profiler.h"
 
+#include "profiler_internal.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -22,12 +24,6 @@
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
-
-#if CHAMELEON_OBS_ENABLED && defined(__linux__)
-#define CHAMELEON_PROFILER_IMPL 1
-#else
-#define CHAMELEON_PROFILER_IMPL 0
-#endif
 
 #if CHAMELEON_PROFILER_IMPL
 #include <dlfcn.h>
@@ -67,10 +63,8 @@ std::string FoldedText(const ProfileReport& report) {
 
 #if CHAMELEON_PROFILER_IMPL
 
-namespace {
+namespace internal {
 
-/// One frame name, folded-format safe: ';' separates frames and the last
-/// ' ' separates the count, so neither may appear inside a frame.
 std::string SanitizeFrame(std::string_view name) {
   std::string out;
   out.reserve(name.size());
@@ -86,10 +80,14 @@ std::string SanitizeFrame(std::string_view name) {
   return out.empty() ? std::string("(unknown)") : out;
 }
 
+}  // namespace internal
+
+namespace {
+
 constexpr const char kNoSpanLabel[] = "(no_span)";
 
 constexpr std::uint32_t kRingCapacity = kProfilerRingCapacity;  // power of two
-constexpr std::uint32_t kMaxStackDepth = 40;
+constexpr std::uint32_t kMaxStackDepth = internal::kMaxWalkDepth;
 
 /// One captured sample. Written by the SIGPROF handler on the owning
 /// thread, read by the drainer; the head/tail release/acquire pair
@@ -163,6 +161,8 @@ Control& GlobalControl() {
   return *control;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Signal handler + stack walk. Async-signal-safe: no locks, no
 // allocation, no strings; every frame pointer is bounds-checked against
@@ -171,12 +171,7 @@ Control& GlobalControl() {
 // (saved-FP/return-address slots), which ASan would misclassify.
 // ---------------------------------------------------------------------------
 
-#if defined(__clang__) || defined(__GNUC__)
-#define CHAMELEON_NO_SANITIZE \
-  __attribute__((no_sanitize("address", "thread", "undefined")))
-#else
-#define CHAMELEON_NO_SANITIZE
-#endif
+namespace internal {
 
 CHAMELEON_NO_SANITIZE
 std::uint32_t WalkStack(void* ucontext_raw, std::uintptr_t* pcs,
@@ -217,6 +212,10 @@ std::uint32_t WalkStack(void* ucontext_raw, std::uintptr_t* pcs,
   return depth;
 }
 
+}  // namespace internal
+
+namespace {
+
 extern "C" CHAMELEON_NO_SANITIZE void ChameleonProfilerSignalHandler(
     int /*sig*/, siginfo_t* /*info*/, void* ucontext_raw) {
   const int saved_errno = errno;
@@ -229,8 +228,9 @@ extern "C" CHAMELEON_NO_SANITIZE void ChameleonProfilerSignalHandler(
     } else {
       RawSample& sample = state->ring[head & (kRingCapacity - 1)];
       sample.path_id = CurrentSpanPathId();
-      sample.depth = WalkStack(ucontext_raw, sample.pcs, kMaxStackDepth,
-                               state->stack_lo, state->stack_hi);
+      sample.depth = internal::WalkStack(ucontext_raw, sample.pcs,
+                                         kMaxStackDepth, state->stack_lo,
+                                         state->stack_hi);
       state->head.store(head + 1, std::memory_order_release);
     }
   }
@@ -357,11 +357,14 @@ std::string Basename(std::string_view path) {
                          : path.substr(slash + 1));
 }
 
-/// Best-effort name for a pc: demangled symbol, raw symbol, or
-/// `module+0xoffset`. Executables link with -rdynamic (CMake
-/// ENABLE_EXPORTS) so dladdr sees non-static functions; file-local
-/// symbols resolve to the nearest exported neighbor, which is the usual
-/// frame-pointer-profiler trade-off.
+}  // namespace
+
+namespace internal {
+
+// Executables link with -rdynamic (CMake ENABLE_EXPORTS) so dladdr sees
+// non-static functions; file-local symbols resolve to the nearest
+// exported neighbor, which is the usual frame-pointer-profiler
+// trade-off.
 std::string SymbolizePc(std::uintptr_t pc,
                         std::unordered_map<std::uintptr_t, std::string>* cache) {
   const auto it = cache->find(pc);
@@ -391,6 +394,10 @@ std::string SymbolizePc(std::uintptr_t pc,
   return name;
 }
 
+}  // namespace internal
+
+namespace {
+
 /// Splices the span path in as synthetic root frames, then the walked
 /// stack outermost-first, so flames read
 /// `reliability;two_terminal;sample_worlds;<outer fn>;...;<leaf fn>`.
@@ -415,11 +422,11 @@ ProfileReport RenderAggregate(const Aggregate& aggregate, int hz,
       stack.frames.push_back(kNoSpanLabel);
     } else {
       for (const std::string& part : SplitTokens(span_path, "/")) {
-        stack.frames.push_back(SanitizeFrame(part));
+        stack.frames.push_back(internal::SanitizeFrame(part));
       }
     }
     for (std::size_t i = key.size(); i > 1; --i) {
-      stack.frames.push_back(SymbolizePc(key[i - 1], &symbol_cache));
+      stack.frames.push_back(internal::SymbolizePc(key[i - 1], &symbol_cache));
     }
     report.stacks.push_back(std::move(stack));
   }
@@ -503,6 +510,18 @@ void InstallSigprofHandler() {
 }
 
 }  // namespace
+
+namespace internal {
+
+bool CurrentThreadStackBounds(std::uintptr_t* lo, std::uintptr_t* hi) {
+  const ThreadState* state = tls_state;
+  if (state == nullptr || state->stack_lo == 0) return false;
+  *lo = state->stack_lo;
+  *hi = state->stack_hi;
+  return true;
+}
+
+}  // namespace internal
 
 void ProfilerRegisterCurrentThread() {
   if (tls_state != nullptr) {

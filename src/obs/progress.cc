@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "chameleon/obs/flight_recorder.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
@@ -79,6 +80,9 @@ void ProgressHeartbeat::Finish() {
 
 void ProgressHeartbeat::Emit(bool final) {
   ++emit_count_;
+  // Heartbeats double as the watchdog's / flight recorder's activity
+  // pulse; throttled by min_interval, so well off the Tick hot path.
+  CHOBS_FLIGHT_EVENT(kCheckpoint, label_, done_units_, total_units_);
   const double elapsed_s =
       static_cast<double>(MonotonicNanos() - start_nanos_) * 1e-9;
   const double rate =

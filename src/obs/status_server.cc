@@ -22,6 +22,7 @@
 #include "chameleon/obs/progress.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/trace.h"
+#include "chameleon/obs/watchdog.h"
 #include "chameleon/util/logging.h"
 #include "chameleon/util/string_util.h"
 #include "chameleon/util/timer.h"
@@ -341,9 +342,17 @@ void StatusServer::HandleConnection(int client_fd) {
       code = 503;
       body = "profile capture failed: " + folded.status().ToString() + "\n";
     }
+  } else if (path == "/healthz") {
+    // Per-phase liveness from the watchdog's view of span + flight-
+    // recorder activity; 503 lets a plain HTTP prober (load balancer,
+    // cron curl) detect a wedged run without parsing anything.
+    body = HealthzText();
+    if (body.find("overall: STALLED") != std::string::npos) code = 503;
   } else {
     code = 404;
-    body = "not found; try /statusz, /metricsz, or /profilez?seconds=N\n";
+    body =
+        "not found; try /statusz, /metricsz, /healthz, or "
+        "/profilez?seconds=N\n";
   }
 
   const char* reason = code == 200   ? "OK"

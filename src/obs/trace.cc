@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "chameleon/obs/alloc_stats.h"
+#include "chameleon/obs/flight_recorder.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/util/logging.h"
@@ -153,6 +154,16 @@ std::string SpanPathForId(std::uint32_t id) {
   return table.paths[id - 1];
 }
 
+bool TrySpanPathForId(std::uint32_t id, std::string* path) {
+  if (id == 0) return false;
+  std::unique_lock<std::mutex> lock(SpanPathsMu(), std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  const SpanPathTable& table = SpanPaths();
+  if (id > table.paths.size()) return false;
+  *path = table.paths[id - 1];
+  return true;
+}
+
 std::uint32_t CurrentSpanPathId() { return tls_span_path_id; }
 
 std::vector<LiveSpanEntry> LiveSpans() {
@@ -200,6 +211,7 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
   start_wall_millis_ = WallUnixMillis();
   start_resources_ = SampleThreadResources();
   start_nanos_ = MonotonicNanos();
+  CHOBS_FLIGHT_EVENT(kSpanOpen, path_, path_id_, 0);
   tls_span_stack.push_back(StackEntry{tracer_, this});
   {
     const std::lock_guard<std::mutex> lock(LiveSpansMu());
@@ -211,6 +223,7 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
 TraceSpan::~TraceSpan() {
   if (!active()) return;
   const std::uint64_t duration = MonotonicNanos() - start_nanos_;
+  CHOBS_FLIGHT_EVENT(kSpanClose, path_, path_id_, duration);
   // Restore the sampler's active-span word; the guard keeps a tolerated
   // out-of-order close from resurrecting a stale id.
   if (tls_span_path_id == path_id_) tls_span_path_id = parent_path_id_;

@@ -48,6 +48,42 @@ TEST(IoTest, BadProbabilityFails) {
   EXPECT_FALSE(ParseEdgeList(in, "test").ok());
 }
 
+TEST(IoTest, BadProbabilityNamesFileAndLine) {
+  // Comments and blank lines still advance the reported line number.
+  std::istringstream in(
+      "# header\n"
+      "0 1 0.5\n"
+      "\n"
+      "1 2 1.5\n");
+  const Result<UncertainGraph> g = ParseEdgeList(in, "probs.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("probs.edges:4"), std::string::npos)
+      << g.status().message();
+}
+
+TEST(IoTest, DuplicateEdgeNamesFileAndLine) {
+  std::istringstream in(
+      "0 1 0.5\n"
+      "1 2 0.25\n"
+      "1 0 0.75\n");  // duplicate of line 1, reversed endpoints
+  const Result<UncertainGraph> g = ParseEdgeList(in, "dup.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("dup.edges:3"), std::string::npos)
+      << g.status().message();
+  EXPECT_NE(g.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(IoTest, SelfLoopNamesFileAndLine) {
+  std::istringstream in(
+      "0 1 0.5\n"
+      "2 2 0.25\n");
+  const Result<UncertainGraph> g = ParseEdgeList(in, "loop.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("loop.edges:2"), std::string::npos)
+      << g.status().message();
+  EXPECT_NE(g.status().message().find("self-loop"), std::string::npos);
+}
+
 TEST(IoTest, RoundTripThroughFile) {
   UncertainGraphBuilder builder(4);
   ASSERT_TRUE(builder.AddEdge(0, 1, 0.125).ok());

@@ -1,0 +1,181 @@
+// Stall-watchdog behavior: a span left idle past the threshold produces
+// exactly one watchdog_stall record at stall onset (plus a STALLED
+// /healthz view), an active phase that keeps recording flight events
+// never trips it, and --watchdog_abort_after escalates a persistent
+// stall into SIGABRT so the crash handler can take over. The abort case
+// forks first, before any in-process watchdog threads exist.
+
+#include "chameleon/obs/watchdog.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "chameleon/obs/crash_handler.h"
+#include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/sink.h"
+#include "chameleon/obs/trace.h"
+
+namespace chameleon::obs {
+namespace {
+
+void SleepSeconds(double seconds) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+}
+
+std::vector<std::string> FindRecords(const std::vector<std::string>& lines,
+                                     std::string_view type) {
+  std::vector<std::string> found;
+  for (const std::string& line : lines) {
+    if (JsonlStringField(line, "type") == type) found.push_back(line);
+  }
+  return found;
+}
+
+#if CHAMELEON_OBS_ENABLED
+// Must run before the in-process cases: it forks, and forking after
+// watchdog/tracer threads have run in this process is asking for
+// trouble. A child whose only span sits idle gets the stall record,
+// then the SIGABRT escalation, then crash forensics.
+TEST(WatchdogTest, AbortAfterEscalatesToCrashForensics) {
+  const std::string path = testing::TempDir() + "/watchdog_abort.jsonl";
+  std::remove(path.c_str());
+
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    ObsOptions obs_options;
+    obs_options.metrics_out = path;
+    obs_options.read_env = false;
+    if (!InitObservability(obs_options).ok()) _exit(97);
+    if (!InstallCrashHandler().ok()) _exit(95);
+    WatchdogOptions options;
+    options.stall_seconds = 0.2;
+    options.abort_after_seconds = 0.2;
+    options.poll_interval_seconds = 0.05;
+    if (!StartGlobalWatchdog(options).ok()) _exit(96);
+    CHOBS_SPAN(span, "hung_phase");
+    SleepSeconds(10.0);  // the watchdog must interrupt this
+    _exit(98);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 95) {
+    GTEST_SKIP() << "crash forensics unavailable in this build";
+  }
+
+  ASSERT_TRUE(WIFSIGNALED(status)) << "watchdog never aborted the child";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+  }
+  const std::vector<std::string> stalls = FindRecords(lines, "watchdog_stall");
+  ASSERT_FALSE(stalls.empty()) << "no watchdog_stall before the abort";
+  EXPECT_NE(stalls.front().find("hung_phase"), std::string::npos);
+  bool saw_aborting = false;
+  for (const std::string& stall : stalls) {
+    if (stall.find("\"aborting\":true") != std::string::npos) {
+      saw_aborting = true;
+    }
+  }
+  EXPECT_TRUE(saw_aborting);
+  // The SIGABRT went through the crash handler: backtrace + summary.
+  ASSERT_FALSE(FindRecords(lines, "crash").empty());
+  EXPECT_EQ(JsonlNumberField(FindRecords(lines, "crash").front(), "signal"),
+            SIGABRT);
+  ASSERT_FALSE(FindRecords(lines, "run_summary").empty());
+}
+#endif  // CHAMELEON_OBS_ENABLED
+
+TEST(WatchdogTest, IdleSpanTripsOneStallRecord) {
+  MemorySink sink;
+  Tracer tracer(&sink, &GlobalMetrics());
+  WatchdogOptions options;
+  options.stall_seconds = 0.3;
+  options.poll_interval_seconds = 0.05;
+  options.sink = &sink;
+  ASSERT_TRUE(StartGlobalWatchdog(options).ok());
+  EXPECT_TRUE(WatchdogRunning());
+  // Starting twice is refused.
+  EXPECT_FALSE(StartGlobalWatchdog(options).ok());
+
+  {
+    TraceSpan span("stall_phase", &tracer);
+    SleepSeconds(0.8);  // idle well past the threshold
+
+    const std::vector<std::string> stalls =
+        FindRecords(sink.lines(), "watchdog_stall");
+    ASSERT_FALSE(stalls.empty()) << "idle span never tripped the watchdog";
+    EXPECT_EQ(JsonlStringField(stalls.front(), "path"), "stall_phase");
+    EXPECT_GE(JsonlNumberField(stalls.front(), "idle_ms").value_or(0.0),
+              300.0);
+    EXPECT_NE(stalls.front().find("\"aborting\":false"), std::string::npos);
+    // One record per stall onset, not one per poll tick.
+    EXPECT_EQ(stalls.size(), 1u);
+
+    // The same liveness view drives /healthz.
+    const std::string healthz = HealthzText();
+    EXPECT_NE(healthz.find("stall_phase"), std::string::npos);
+    EXPECT_NE(healthz.find("overall: STALLED"), std::string::npos);
+  }
+  StopGlobalWatchdog();
+  EXPECT_FALSE(WatchdogRunning());
+}
+
+TEST(WatchdogTest, ActivePhaseNeverTrips) {
+  MemorySink sink;
+  Tracer tracer(&sink, &GlobalMetrics());
+  WatchdogOptions options;
+  // Threshold well above the tick cadence so scheduler jitter on a
+  // loaded single-core host cannot fake a stall.
+  options.stall_seconds = 0.5;
+  options.poll_interval_seconds = 0.05;
+  options.sink = &sink;
+  ASSERT_TRUE(StartGlobalWatchdog(options).ok());
+
+  {
+    TraceSpan span("busy_phase", &tracer);
+    // Keep the activity pulse fresh the whole time: progress heartbeats
+    // and estimator checkpoints do exactly this in real runs.
+    for (int i = 0; i < 16; ++i) {
+      RecordFlightEvent(FlightEventKind::kCheckpoint, "busy_tick",
+                        static_cast<std::uint64_t>(i), 16);
+      SleepSeconds(0.05);
+    }
+    EXPECT_TRUE(FindRecords(sink.lines(), "watchdog_stall").empty());
+    EXPECT_NE(HealthzText().find("overall: OK"), std::string::npos);
+  }
+  StopGlobalWatchdog();
+}
+
+TEST(WatchdogTest, RejectsNonPositiveStall) {
+  WatchdogOptions options;
+  options.stall_seconds = 0.0;
+  EXPECT_FALSE(StartGlobalWatchdog(options).ok());
+  EXPECT_FALSE(WatchdogRunning());
+}
+
+TEST(WatchdogTest, HealthzReportsNotRunningWhenOff) {
+  ASSERT_FALSE(WatchdogRunning());
+  const std::string healthz = HealthzText();
+  EXPECT_NE(healthz.find("watchdog: not running"), std::string::npos);
+  EXPECT_NE(healthz.find("overall: OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

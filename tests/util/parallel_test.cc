@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -82,6 +83,58 @@ TEST(ParallelForBlocksTest, MoreThreadsThanBlocksIsFine) {
                       total.fetch_add(end - begin);
                     });
   EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ParallelForBlocksTest, ZeroBlockSizeNeverInvokes) {
+  bool invoked = false;
+  ParallelForBlocks(100, 0, 4,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      invoked = true;
+                    });
+  EXPECT_FALSE(invoked);
+}
+
+/// Collects the distinct thread ids that ran callbacks, and whether the
+/// calling thread was one of them.
+std::set<std::thread::id> RunAndCollectThreadIds(std::size_t n,
+                                                 std::size_t block_size,
+                                                 int threads) {
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelForBlocks(n, block_size, threads,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      const std::lock_guard<std::mutex> lock(mu);
+                      ids.insert(std::this_thread::get_id());
+                    });
+  return ids;
+}
+
+TEST(ParallelForBlocksTest, SmallRangesRunInlineDespiteThreadRequest) {
+  // 512 items sit under the ~1024-item minimum grain: even an explicit
+  // --threads=8 must not spawn workers (the regression this guards:
+  // thread startup dwarfing the actual work).
+  const std::set<std::thread::id> ids = RunAndCollectThreadIds(512, 32, 8);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForBlocksTest, SingleBlockRunsInline) {
+  const std::set<std::thread::id> ids = RunAndCollectThreadIds(10, 100, 8);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForBlocksTest, WorkerCountClampedToHardwareConcurrency) {
+  // A request far above the core count must clamp: the caller plus the
+  // spawned workers total at most hardware_concurrency threads.
+  const std::size_t hw =
+      std::thread::hardware_concurrency() == 0
+          ? 1
+          : std::thread::hardware_concurrency();
+  const std::set<std::thread::id> ids =
+      RunAndCollectThreadIds(1 << 16, 256, 64);
+  EXPECT_LE(ids.size(), hw);
+  EXPECT_GE(ids.size(), 1u);
 }
 
 }  // namespace

@@ -48,6 +48,7 @@ int Run(int argc, char** argv) {
                  flags.Usage().c_str());
     return 2;
   }
+  static_cast<void>(obs::InstallCrashForensics());
 
   const Result<bench::BenchSuite> baseline =
       bench::LoadBenchFile(flags.positional()[0]);

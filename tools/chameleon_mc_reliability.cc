@@ -21,6 +21,7 @@
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/status_server.h"
+#include "chameleon/obs/watchdog.h"
 #include "chameleon/reliability/reliability.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/logging.h"
@@ -90,6 +91,13 @@ int Run(int argc, char** argv) {
                   "sample CPU for the whole run and write folded collapsed "
                   "stacks (flamegraph.pl input) to this path");
   flags.AddInt64("profile_hz", 99, "sampling frequency per CPU-second");
+  flags.AddDouble("watchdog_stall_seconds", 0.0,
+                  "emit a watchdog_stall record when a phase makes no "
+                  "progress for this long (0 = watchdog off)");
+  flags.AddDouble("watchdog_abort_after", 0.0,
+                  "SIGABRT (-> crash forensics dump) once a stall persists "
+                  "this many seconds past --watchdog_stall_seconds (0 = "
+                  "never abort)");
   flags.AddBool("connected_pairs", true,
                 "also estimate E[#connected pairs]");
   flags.AddBool("version", false, "print build provenance and exit");
@@ -110,12 +118,21 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  // Crash forensics before anything heavy runs: a SIGSEGV from here on
+  // leaves a `crash` record + flight-recorder dump in the JSONL stream
+  // (or at least a symbolized backtrace on stderr).
+  if (Status s = obs::InstallCrashForensics(); !s.ok()) {
+    std::fprintf(stderr, "warning: crash forensics disabled: %s\n",
+                 s.ToString().c_str());
+  }
+
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
   const std::int64_t statusz_port = flags.GetInt64("statusz_port");
   const std::string profile_out = flags.GetString("profile");
+  const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
   if (obs_options.metrics_out.empty() &&
-      (statusz_port >= 0 || !profile_out.empty()) &&
+      (statusz_port >= 0 || !profile_out.empty() || watchdog_stall > 0.0) &&
       std::getenv("CHAMELEON_METRICS") == nullptr) {
     // /statusz, /metricsz, and the profiler render from the live obs
     // registries, which only run when a sink exists; a discarded stream
@@ -135,6 +152,16 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(stderr, "statusz: http://127.0.0.1:%d/statusz\n",
                  obs::GlobalStatusServer()->port());
+  }
+  if (watchdog_stall > 0.0) {
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.stall_seconds = watchdog_stall;
+    watchdog_options.abort_after_seconds =
+        flags.GetDouble("watchdog_abort_after");
+    if (Status s = obs::StartGlobalWatchdog(watchdog_options); !s.ok()) {
+      std::fprintf(stderr, "warning: watchdog disabled: %s\n",
+                   s.ToString().c_str());
+    }
   }
   if (!profile_out.empty()) {
     obs::ProfilerOptions profiler_options;

@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "chameleon/graph/uncertain_graph.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/run_context.h"
+#include "chameleon/obs/watchdog.h"
 #include "chameleon/privacy/obfuscation.h"
 #include "chameleon/privacy/uniqueness.h"
 #include "chameleon/util/flags.h"
@@ -121,6 +123,13 @@ int Run(int argc, char** argv) {
                   "uniqueness kernel: gaussian | epanechnikov");
   flags.AddString("metrics_out", "",
                   "JSONL metrics/trace sink (also: $CHAMELEON_METRICS)");
+  flags.AddDouble("watchdog_stall_seconds", 0.0,
+                  "emit a watchdog_stall record when a phase makes no "
+                  "progress for this long (0 = watchdog off)");
+  flags.AddDouble("watchdog_abort_after", 0.0,
+                  "SIGABRT (-> crash forensics dump) once a stall persists "
+                  "this many seconds past --watchdog_stall_seconds (0 = "
+                  "never abort)");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -175,11 +184,31 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  if (Status s = obs::InstallCrashForensics(); !s.ok()) {
+    std::fprintf(stderr, "warning: crash forensics disabled: %s\n",
+                 s.ToString().c_str());
+  }
+
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
+  const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
+  if (obs_options.metrics_out.empty() && watchdog_stall > 0.0 &&
+      std::getenv("CHAMELEON_METRICS") == nullptr) {
+    obs_options.metrics_out = "/dev/null";  // keep stall records flowing
+  }
   if (Status s = obs::InitObservability(obs_options); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (watchdog_stall > 0.0) {
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.stall_seconds = watchdog_stall;
+    watchdog_options.abort_after_seconds =
+        flags.GetDouble("watchdog_abort_after");
+    if (Status s = obs::StartGlobalWatchdog(watchdog_options); !s.ok()) {
+      std::fprintf(stderr, "warning: watchdog disabled: %s\n",
+                   s.ToString().c_str());
+    }
   }
   obs::RunManifest manifest =
       obs::RunManifest::Capture("chameleon_obf_check", argc, argv);

@@ -84,6 +84,35 @@ struct PrivacyCheckRow {
   double wall_ms = 0.0;
 };
 
+/// One "crash" record: fatal-signal forensics from the crash handler.
+struct CrashRow {
+  int signal_number = 0;
+  std::string signal_name;
+  std::string fault_addr;  ///< "" when the signal carries no address
+  std::string span_path;   ///< "" when no span was open
+  double tid = 0.0;
+  std::vector<std::string> frames;
+};
+
+/// One "watchdog_stall" record: a phase that stopped making progress.
+struct WatchdogStallRow {
+  std::string path;
+  double tid = 0.0;
+  double idle_ms = 0.0;
+  double open_ms = 0.0;
+  bool aborting = false;
+};
+
+/// One "flight_event_dump" record: the per-thread flight-recorder rings
+/// dumped when a run dies on a signal.
+struct FlightDumpRow {
+  double threads = 0.0;
+  double events = 0.0;
+  double recorded = 0.0;
+  double dropped = 0.0;
+  std::vector<std::string> tail;  ///< merged most-recent-events rendering
+};
+
 struct DumpResult {
   std::map<std::string, PhaseAggregate> phases;
   std::map<std::string, ConvergenceRow> estimators;
@@ -91,6 +120,9 @@ struct DumpResult {
   std::vector<GraphSummaryRow> graph_summaries;
   std::vector<ProfileCapture> profiles;
   std::vector<PrivacyCheckRow> privacy_checks;
+  std::vector<CrashRow> crashes;
+  std::vector<WatchdogStallRow> stalls;
+  std::vector<FlightDumpRow> flight_dumps;
   /// Distinct record types this build does not recognize (forward-compat
   /// passthrough: counted, mentioned once each on stderr, never fatal).
   std::map<std::string, std::size_t> unknown_types;
@@ -134,6 +166,30 @@ void ExtractFlatNumberObject(
                         *value);
     }
     i = value_end;
+  }
+}
+
+/// Pulls every quoted string out of the flat JSON array that starts at
+/// `marker` (e.g. `"frames":[`). Un-escapes backslash sequences by
+/// taking the escaped character literally; stops at the array's own
+/// closing bracket (brackets inside the strings don't terminate it).
+void ExtractStringArray(const std::string& line, std::string_view marker,
+                        std::vector<std::string>* out) {
+  const std::size_t block = line.find(marker);
+  if (block == std::string::npos) return;
+  std::size_t i = block + marker.size();
+  while (i < line.size() && line[i] != ']') {
+    if (line[i] == '"') {
+      std::string item;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) ++i;
+        item += line[i];
+        ++i;
+      }
+      out->push_back(std::move(item));
+    }
+    ++i;
   }
 }
 
@@ -242,6 +298,35 @@ Result<DumpResult> Load(const std::string& path) {
       row.adversary = obs::JsonlStringField(line, "adversary").value_or("?");
       row.wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
       out.privacy_checks.push_back(std::move(row));
+    } else if (*type == "crash") {
+      CrashRow row;
+      row.signal_number = static_cast<int>(
+          obs::JsonlNumberField(line, "signal").value_or(0.0));
+      row.signal_name =
+          obs::JsonlStringField(line, "signal_name").value_or("?");
+      row.fault_addr = obs::JsonlStringField(line, "fault_addr").value_or("");
+      row.span_path = obs::JsonlStringField(line, "span_path").value_or("");
+      row.tid = obs::JsonlNumberField(line, "tid").value_or(0.0);
+      ExtractStringArray(line, "\"frames\":[", &row.frames);
+      out.crashes.push_back(std::move(row));
+    } else if (*type == "watchdog_stall") {
+      WatchdogStallRow row;
+      row.path = obs::JsonlStringField(line, "path").value_or("?");
+      row.tid = obs::JsonlNumberField(line, "tid").value_or(0.0);
+      row.idle_ms = obs::JsonlNumberField(line, "idle_ms").value_or(0.0);
+      row.open_ms = obs::JsonlNumberField(line, "open_ms").value_or(0.0);
+      row.aborting = line.find("\"aborting\":true") != std::string::npos;
+      out.stalls.push_back(std::move(row));
+    } else if (*type == "flight_event_dump") {
+      // The top-level summary fields precede the per-ring objects in the
+      // record, so first-occurrence field lookup reads the totals.
+      FlightDumpRow row;
+      row.threads = obs::JsonlNumberField(line, "threads").value_or(0.0);
+      row.events = obs::JsonlNumberField(line, "events").value_or(0.0);
+      row.recorded = obs::JsonlNumberField(line, "recorded").value_or(0.0);
+      row.dropped = obs::JsonlNumberField(line, "dropped").value_or(0.0);
+      ExtractStringArray(line, "\"tail\":[", &row.tail);
+      out.flight_dumps.push_back(std::move(row));
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
       if (wall.has_value()) out.run_wall_ms = *wall;
@@ -334,6 +419,24 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                  std::int64_t top) {
   if (!dump.manifest_line.empty()) PrintManifest(dump.manifest_line);
 
+  // Crash forensics lead the report: a dead run's backtrace is the first
+  // thing a triager needs, before any timing table.
+  for (const CrashRow& crash : dump.crashes) {
+    std::printf("\nCRASH: %s (signal %d) on tid %.0f",
+                crash.signal_name.c_str(), crash.signal_number, crash.tid);
+    if (!crash.fault_addr.empty()) {
+      std::printf(" at %s", crash.fault_addr.c_str());
+    }
+    if (!crash.span_path.empty()) {
+      std::printf(" in span %s", crash.span_path.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < crash.frames.size(); ++i) {
+      std::printf("  #%zu %s\n", i, crash.frames[i].c_str());
+    }
+  }
+  if (!dump.crashes.empty()) std::printf("\n");
+
   std::vector<std::pair<std::string, PhaseAggregate>> rows(
       dump.phases.begin(), dump.phases.end());
   if (sort_key == "total") {
@@ -422,6 +525,31 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                   row.obfuscated ? "OK" : "VIOLATED", row.not_obfuscated,
                   row.min_entropy_bits, row.mean_entropy_bits,
                   row.adversary.c_str());
+    }
+  }
+
+  if (!dump.stalls.empty()) {
+    std::printf("\nwatchdog stalls:\n");
+    std::size_t swidth = 5;
+    for (const WatchdogStallRow& s : dump.stalls) {
+      swidth = std::max(swidth, s.path.size());
+    }
+    std::printf("%-*s %5s %12s %12s\n", static_cast<int>(swidth), "phase",
+                "tid", "idle ms", "open ms");
+    for (const WatchdogStallRow& s : dump.stalls) {
+      std::printf("%-*s %5.0f %12.0f %12.0f%s\n", static_cast<int>(swidth),
+                  s.path.c_str(), s.tid, s.idle_ms, s.open_ms,
+                  s.aborting ? "  [aborted]" : "");
+    }
+  }
+
+  if (!dump.flight_dumps.empty()) {
+    const FlightDumpRow& last = dump.flight_dumps.back();
+    std::printf("\nflight recorder (%.0f threads, %.0f events kept of "
+                "%.0f recorded, %.0f overwritten), most recent last:\n",
+                last.threads, last.events, last.recorded, last.dropped);
+    for (const std::string& event : last.tail) {
+      std::printf("  %s\n", event.c_str());
     }
   }
 
@@ -532,6 +660,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: no input file\n%s", flags.Usage().c_str());
     return 2;
   }
+
+  static_cast<void>(obs::InstallCrashForensics());
 
   const Result<DumpResult> dump = Load(path);
   if (!dump.ok()) {

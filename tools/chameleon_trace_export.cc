@@ -46,6 +46,7 @@ int Run(int argc, char** argv) {
                  flags.Usage().c_str());
     return 2;
   }
+  static_cast<void>(obs::InstallCrashForensics());
 
   const Result<obs::TraceExportStats> stats = obs::ExportChromeTrace(
       flags.positional()[0], flags.positional()[1]);

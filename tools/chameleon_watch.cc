@@ -136,6 +136,53 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
         k, eps, obfuscated ? "SATISFIED" : "VIOLATED", eps_hat, not_obf,
         vertices);
   }
+  if (*type == "crash") {
+    const auto name = obs::JsonlStringField(line, "signal_name");
+    const double signal =
+        obs::JsonlNumberField(line, "signal").value_or(0.0);
+    const auto addr = obs::JsonlStringField(line, "fault_addr");
+    const auto span = obs::JsonlStringField(line, "span_path");
+    std::string text = StrFormat("CRASH: %s (signal %.0f)",
+                                 name.value_or("?").c_str(), signal);
+    if (addr.has_value()) text += StrFormat(" at %s", addr->c_str());
+    if (span.has_value()) text += StrFormat(" in span %s", span->c_str());
+    // Frame count without parsing the array: the frames are the only
+    // place a crash record nests strings.
+    std::size_t frames = 0;
+    const std::size_t open = line.find("\"frames\":[");
+    if (open != std::string::npos) {
+      const std::size_t close = line.find(']', open);
+      for (std::size_t i = open + 10; i < close && i < line.size(); ++i) {
+        if (line[i] == '"' && line[i - 1] != '\\') ++frames;
+      }
+      frames /= 2;
+    }
+    text += StrFormat(" — %zu frames, run obs_dump for the backtrace",
+                      frames);
+    return text + "\n";
+  }
+  if (*type == "watchdog_stall") {
+    const auto path = obs::JsonlStringField(line, "path");
+    const double idle_ms =
+        obs::JsonlNumberField(line, "idle_ms").value_or(0.0);
+    const double stall_s =
+        obs::JsonlNumberField(line, "stall_seconds").value_or(0.0);
+    const bool aborting =
+        line.find("\"aborting\":true") != std::string::npos;
+    return StrFormat("WATCHDOG: %s idle %.1fs (threshold %.1fs)%s\n",
+                     path.value_or("?").c_str(), idle_ms * 1e-3, stall_s,
+                     aborting ? " — aborting the run" : "");
+  }
+  if (*type == "flight_event_dump") {
+    const double threads =
+        obs::JsonlNumberField(line, "threads").value_or(0.0);
+    const double events =
+        obs::JsonlNumberField(line, "events").value_or(0.0);
+    return StrFormat(
+        "flight recorder dumped: %.0f events across %.0f threads (see "
+        "obs_dump for the tail)\n",
+        events, threads);
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
@@ -237,6 +284,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: --interval_ms must be positive\n");
     return 2;
   }
+  static_cast<void>(obs::InstallCrashForensics());
   return Watch(path, flags.GetBool("once"), interval_ms);
 }
 
