@@ -241,6 +241,18 @@ Result<BenchSuite> LoadBenchFile(const std::string& path) {
         suite.git_describe = *v;
       }
     }
+    // Host provenance, for the bench_diff cross-host warning. Only the
+    // header's "host" line carries these keys.
+    if (suite.hostname.empty()) {
+      if (const auto v = obs::JsonlStringField(line, "hostname")) {
+        suite.hostname = *v;
+      }
+    }
+    if (suite.cpus == 0) {
+      if (const auto v = obs::JsonlNumberField(line, "cpus")) {
+        suite.cpus = static_cast<std::int64_t>(*v);
+      }
+    }
 
     const auto median = obs::JsonlNumberField(line, "median_ns");
     const auto name = obs::JsonlStringField(line, "name");

@@ -112,6 +112,8 @@ struct BenchSuite {
   std::string suite;   ///< e.g. "core"
   std::string git_sha;
   std::string git_describe;
+  std::string hostname;  ///< from the "host" provenance block ("" pre-dates)
+  std::int64_t cpus = 0;  ///< 0 when the file pre-dates the host block
   bool quick = false;
   std::vector<BenchResult> benchmarks;
 };

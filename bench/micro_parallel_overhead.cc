@@ -1,0 +1,239 @@
+// Dormant-overhead budget check for the parallel-region telemetry: a
+// loop of small ParallelForBlocks regions, run with observability
+// disabled, must cost no more than --budget over the same regions
+// executed by a bare local replica of the pre-instrumentation fork-join
+// path (default 2%). With obs dormant the only additions on the real
+// path are the requested-worker computation and one relaxed
+// obs::Enabled() load per region, so this bench bounds the per-region
+// tax at the worst realistic density — many tiny regions back to back.
+//
+//   micro_parallel_overhead [--budget=0.02] [--reps=9]
+//       [--out=BENCH_...json]
+//
+// Exit code 0 inside the budget (or inside the repetition noise floor),
+// 1 on a violation — CI gates on it. Same self-contained median/MAD
+// harness as micro_flight_overhead.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chameleon/obs/parallel_stats.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/parallel.h"
+#include "chameleon/util/timer.h"
+#include "harness.h"
+#include "chameleon/util/status.h"
+
+namespace chameleon {
+namespace {
+
+/// Region shape: small enough that the grain clamp keeps the region
+/// inline on the caller (so the bench times the dispatch tax, not
+/// thread spawns), large enough that fn() does real work per block.
+constexpr std::size_t kItems = 2048;
+constexpr std::size_t kBlock = 256;
+
+/// Bare replica of the pre-instrumentation ParallelForBlocks, kept
+/// byte-for-byte comparable: same worker-count clamps, same atomic
+/// cursor, same std::function indirection, same block boundaries. What
+/// it lacks is exactly what the telemetry added — the obs::Enabled()
+/// branch (and, when live, the instrumented drain).
+void BareParallelForBlocks(
+    std::size_t n, std::size_t block_size, int threads,
+    const std::function<void(std::size_t block, std::size_t begin,
+                             std::size_t end)>& fn) {
+  if (n == 0 || block_size == 0) return;
+  const std::size_t blocks = NumBlocks(n, block_size);
+  std::size_t workers =
+      std::min(static_cast<std::size_t>(EffectiveThreads(threads)), blocks);
+  // Cached like the production path, so the measured delta is the
+  // telemetry branch and not the hardware_concurrency lookup.
+  static const std::size_t hw = [] {
+    const unsigned n_cpus = std::thread::hardware_concurrency();
+    return n_cpus == 0 ? std::size_t{1} : static_cast<std::size_t>(n_cpus);
+  }();
+  workers = std::min(workers, hw);
+  workers = std::min(workers, std::max<std::size_t>(1, n / 1024));
+  std::atomic<std::size_t> cursor{0};
+  const auto drain = [&] {
+    for (std::size_t block = cursor.fetch_add(1, std::memory_order_relaxed);
+         block < blocks;
+         block = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      const std::size_t begin = block * block_size;
+      const std::size_t end = std::min(n, begin + block_size);
+      fn(block, begin, end);
+    }
+  };
+  if (workers <= 1) {
+    drain();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Times `iterations` back-to-back regions. `real` dispatches through
+/// the production ParallelForBlocks (obs dormant); otherwise the bare
+/// replica runs the identical blocks.
+template <bool real>
+double TimeLoop(std::size_t iterations) {
+  std::uint64_t acc = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)> fn =
+      [&acc](std::size_t block, std::size_t begin, std::size_t end) {
+        std::uint64_t sum = block;
+        for (std::size_t i = begin; i < end; ++i) {
+          sum += i * 2654435761u;
+        }
+        acc += sum;
+      };
+  const std::uint64_t start = MonotonicNanos();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if constexpr (real) {
+      ParallelForBlocks(kItems, kBlock, 1, fn);
+    } else {
+      BareParallelForBlocks(kItems, kBlock, 1, fn);
+    }
+  }
+  const std::uint64_t stop = MonotonicNanos();
+  bench::DoNotOptimize(acc);
+  return static_cast<double>(stop - start);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "micro_parallel_overhead: dormant ParallelForBlocks telemetry vs "
+      "bare fork-join replica wall-clock budget check");
+  flags.AddDouble("budget", 0.02,
+                  "max tolerated relative overhead (0.02 = 2%)");
+  flags.AddInt64("reps", 9, "timed repetitions per configuration");
+  flags.AddInt64("iterations", 0,
+                 "regions per repetition (0 = auto-calibrate to ~150 ms)");
+  flags.AddString("out", "",
+                  "also write the two timings as a BENCH_*.json suite");
+  flags.AddBool("help", false, "show usage");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  // Observability stays uninitialized: Enabled() is false, which is
+  // exactly the dormant state under test. Guard against accidental
+  // recording all the same.
+  const std::uint64_t recorded_before = obs::ParallelRegionsRecorded();
+
+  std::size_t iterations =
+      static_cast<std::size_t>(flags.GetInt64("iterations"));
+  if (iterations == 0) {
+    iterations = 1 << 10;
+    for (;;) {
+      const double ns = TimeLoop<false>(iterations);
+      if (ns >= 75e6 || iterations >= (1u << 24)) {
+        iterations = static_cast<std::size_t>(
+            static_cast<double>(iterations) * std::max(1.0, 150e6 / ns));
+        break;
+      }
+      iterations *= 2;
+    }
+  }
+  std::fprintf(stderr,
+               "workload: %zu regions/rep, %zu items in %zu-item blocks\n",
+               iterations, kItems, kBlock);
+
+  const int reps = static_cast<int>(flags.GetInt64("reps"));
+  std::vector<double> bare_ns;
+  std::vector<double> dormant_ns;
+  // Alternate configurations so slow drift biases both equally.
+  for (int rep = 0; rep < reps; ++rep) {
+    bare_ns.push_back(TimeLoop<false>(iterations));
+    dormant_ns.push_back(TimeLoop<true>(iterations));
+  }
+
+  if (obs::ParallelRegionsRecorded() != recorded_before) {
+    std::fprintf(stderr,
+                 "FAIL: dormant regions recorded telemetry (observability "
+                 "unexpectedly enabled?)\n");
+    return 1;
+  }
+
+  const double bare_median = bench::Median(bare_ns);
+  const double dormant_median = bench::Median(dormant_ns);
+  const double bare_mad = bench::MedianAbsDeviation(bare_ns, bare_median);
+  const double dormant_mad =
+      bench::MedianAbsDeviation(dormant_ns, dormant_median);
+  const double delta = dormant_median - bare_median;
+  const double overhead = bare_median > 0.0 ? delta / bare_median : 0.0;
+  const double budget = flags.GetDouble("budget");
+  const double noise_ns = 3.0 * std::max(bare_mad, dormant_mad);
+
+  std::fprintf(stdout,
+               "bare fork-join: median %.3f ms (MAD %.3f ms)\n"
+               "dormant ParallelForBlocks: median %.3f ms (MAD %.3f ms)\n"
+               "overhead: %+.2f%% (budget %.2f%%, noise floor %.3f ms)\n",
+               bare_median * 1e-6, bare_mad * 1e-6, dormant_median * 1e-6,
+               dormant_mad * 1e-6, overhead * 100.0, budget * 100.0,
+               noise_ns * 1e-6);
+
+  if (!flags.GetString("out").empty()) {
+    const auto make_result = [&](const char* name, double median, double mad,
+                                 const std::vector<double>& samples) {
+      bench::BenchResult result;
+      result.name = name;
+      result.iterations = iterations;
+      result.reps = reps;
+      result.median_ns = median;
+      result.mad_ns = mad;
+      result.min_ns = *std::min_element(samples.begin(), samples.end());
+      result.max_ns = *std::max_element(samples.begin(), samples.end());
+      double sum = 0.0;
+      for (const double v : samples) sum += v;
+      result.mean_ns = sum / static_cast<double>(samples.size());
+      return result;
+    };
+    const std::vector<bench::BenchResult> results = {
+        make_result("BM_RegionLoop_Bare", bare_median, bare_mad, bare_ns),
+        make_result("BM_RegionLoop_DormantParallelForBlocks", dormant_median,
+                    dormant_mad, dormant_ns),
+    };
+    bench::BenchOptions bench_options;
+    bench_options.reps = reps;
+    if (Status s = bench::WriteBenchFile(flags.GetString("out"),
+                                         "parallel_overhead", results,
+                                         bench_options);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Jitter inside the noise floor is not overhead — the same dual gate
+  // the other micro_*_overhead benches apply.
+  if (overhead > budget && delta > noise_ns) {
+    std::fprintf(stderr,
+                 "FAIL: dormant parallel-region overhead %.2f%% exceeds "
+                 "the %.2f%% budget (+%.3f ms, noise floor %.3f ms)\n",
+                 overhead * 100.0, budget * 100.0, delta * 1e-6,
+                 noise_ns * 1e-6);
+    return 1;
+  }
+  std::fprintf(stdout, "PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }

@@ -1,0 +1,154 @@
+#ifndef CHAMELEON_OBS_PARALLEL_STATS_H_
+#define CHAMELEON_OBS_PARALLEL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chameleon/obs/sink.h"
+#include "chameleon/util/common.h"
+
+/// \file parallel_stats.h
+/// Parallel-efficiency telemetry for ParallelForBlocks. Every instrumented
+/// fork-join region emits one `parallel_region` JSONL record carrying the
+/// clamp decisions (workers requested vs. spawned), the block/grain
+/// geometry, per-worker busy/idle time and blocks claimed, the imbalance
+/// ratio, the spawn+join overhead, and the realized speedup vs. the
+/// busy-time sum — so "the verifier doesn't scale" decomposes into
+/// *which* of serial fraction, load imbalance, or fan-out overhead is to
+/// blame. The instrumentation only times the existing block claims; block
+/// boundaries and merge order are untouched, so the bit-identical-across-
+/// worker-counts guarantee survives.
+///
+/// Three consumers:
+///  - the JSONL stream (`parallel_region` records, rendered by obs_dump /
+///    chameleon_watch);
+///  - the metrics registry (per-region-name busy/idle/overhead counters
+///    plus a wall-time histogram, surfaced on /metricsz);
+///  - an in-process cumulative aggregate table (the /statusz "parallel
+///    regions" section and tools/chameleon_scaling read it directly).
+///
+/// Fatal signals: in-flight regions register themselves (relaxed atomics
+/// updated per claimed block) so FinalizeRun can flush one well-formed
+/// partial record ("partial":true) per region still running when a
+/// SIGINT/SIGTERM lands mid-sweep.
+
+namespace chameleon::obs {
+
+/// One worker's share of a completed region. Worker 0 is the calling
+/// thread; workers 1..n-1 were spawned.
+struct ParallelWorkerSample {
+  std::uint64_t busy_ns = 0;  ///< time spent inside fn() across blocks
+  std::uint64_t blocks = 0;   ///< blocks this worker claimed
+};
+
+/// A fully measured region, produced by ParallelForBlocks after join.
+struct ParallelRegionStats {
+  /// Innermost open span path at region entry; "(no_span)" when none.
+  std::string name;
+  std::uint64_t items = 0;
+  std::uint64_t block_size = 0;
+  std::uint64_t blocks = 0;
+  /// Worker count after EffectiveThreads() but before the block-count /
+  /// hardware / minimum-grain clamps — what the caller asked for.
+  std::uint64_t requested = 0;
+  /// Worker count after all clamps (includes the calling thread).
+  std::uint64_t workers = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t spawn_ns = 0;  ///< std::thread construction, 0 when inline
+  std::uint64_t join_ns = 0;   ///< caller-drained -> last worker joined
+  std::vector<ParallelWorkerSample> per_worker;  ///< size == workers
+
+  std::uint64_t BusyTotalNanos() const;
+  /// Sum over workers of max(0, wall - busy): time sitting in the claim
+  /// loop, waiting to start, or waiting for the join.
+  std::uint64_t IdleTotalNanos() const;
+  /// max(busy) / mean(busy); 1.0 for <= 1 worker or an all-idle region.
+  double Imbalance() const;
+  /// BusyTotal / wall — the realized speedup over a serial run of the
+  /// same work (<= workers by construction).
+  double Speedup() const;
+  /// Speedup / workers, in (0, 1] modulo timer jitter.
+  double Efficiency() const;
+};
+
+/// RAII registration of an in-flight region, so a fatal signal can dump
+/// partial telemetry for a sweep that never reached its join. The ctor
+/// and dtor take a (leaked) registry mutex — per region, off the hot
+/// path; NoteBlockDone is two relaxed adds per claimed block.
+class ActiveParallelRegion {
+ public:
+  ActiveParallelRegion(std::string_view name, std::uint64_t items,
+                       std::uint64_t block_size, std::uint64_t blocks,
+                       std::uint64_t requested, std::uint64_t workers);
+  ~ActiveParallelRegion();
+  CHAMELEON_DISALLOW_COPY_AND_ASSIGN(ActiveParallelRegion);
+
+  void NoteBlockDone(std::uint64_t busy_ns) {
+    blocks_done_.fetch_add(1, std::memory_order_relaxed);
+    busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  friend void EmitInFlightParallelRegions(RecordSink* sink);
+
+  std::string name_;
+  std::uint64_t items_;
+  std::uint64_t block_size_;
+  std::uint64_t blocks_;
+  std::uint64_t requested_;
+  std::uint64_t workers_;
+  std::uint64_t start_ns_;
+  std::atomic<std::uint64_t> blocks_done_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+};
+
+/// Renders the `parallel_region` JSONL record for `stats` (no sink
+/// interaction; exposed for tests).
+std::string FormatParallelRegionRecord(const ParallelRegionStats& stats);
+
+/// Emits the record to the global sink (when one is configured), bumps
+/// the per-region-name metrics counters, and folds the region into the
+/// cumulative aggregate table. ParallelForBlocks calls this after join;
+/// it is safe with observability half-configured (null sink).
+void RecordParallelRegion(const ParallelRegionStats& stats);
+
+/// Cumulative per-region-name aggregate (indices stripped, like span
+/// metric names) since process start / the last reset.
+struct ParallelRegionAggregate {
+  std::string name;
+  std::uint64_t regions = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t overhead_ns = 0;  ///< spawn + join
+  std::uint64_t blocks = 0;
+  std::uint64_t last_requested = 0;
+  std::uint64_t last_workers = 0;
+  double max_imbalance = 0.0;
+};
+
+/// Snapshot of the aggregate table, sorted by name. The /statusz
+/// "parallel regions" section and chameleon_scaling's sweep deltas read
+/// this.
+std::vector<ParallelRegionAggregate> ParallelRegionAggregates();
+
+/// Total `parallel_region` records ever recorded (relaxed counter;
+/// partial signal-time records do not count).
+std::uint64_t ParallelRegionsRecorded();
+
+/// Test/tool hook: clears the cumulative aggregate table.
+void ResetParallelRegionAggregates();
+
+/// Writes one partial `parallel_region` record ("partial":true, with
+/// blocks_done and busy-so-far) per registered in-flight region. Called
+/// by FinalizeRun on signal exits; try-locks the registry so a signal
+/// landing inside register/unregister skips the dump instead of
+/// deadlocking. No-op when `sink` is null or nothing is in flight.
+void EmitInFlightParallelRegions(RecordSink* sink);
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_PARALLEL_STATS_H_

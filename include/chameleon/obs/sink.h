@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "chameleon/obs/timed_mutex.h"
 #include "chameleon/util/common.h"
 #include "chameleon/util/status.h"
 
@@ -18,8 +19,11 @@
 ///   {"type":"manifest", "tool":..., "build":{..}, "host":{..},
 ///    "argv":[..], "seeds":{..}}
 ///   {"type":"span", "path":..., "tid":..., "t_ms":..., "mono_ns":...,
-///    "dur_ns":..., "cpu_ns":..., "max_rss_kb":..., "minflt":...,
-///    "majflt":..., "allocs":..., "alloc_bytes":..., "counters":{..}}
+///    "dur_ns":..., "cpu_ns":..., "offcpu_ns":..., "vcsw":...,
+///    "ivcsw":..., "max_rss_kb":..., "minflt":..., "majflt":...,
+///    "allocs":..., "alloc_bytes":..., "counters":{..}}  — offcpu_ns is
+///    the wall-vs-CPU gap, vcsw/ivcsw the voluntary/involuntary
+///    context-switch deltas over the span (RUSAGE_THREAD)
 ///   {"type":"snapshot", "label":..., "t_ms":..., "metrics":{..}}
 ///   {"type":"progress", "label":..., "done":..., "total":..., ...}
 ///   {"type":"estimator_progress", "label":..., "t_ms":..., "samples":...,
@@ -60,6 +64,19 @@
 ///    "idle_ms":..., "open_ms":..., "stall_seconds":...,
 ///    "aborting":bool}  — stall watchdog verdict for one idle open span;
 ///    "aborting":true on the record that precedes SIGABRT escalation
+///   {"type":"parallel_region", "name":..., "t_ms":..., "items":N,
+///    "block_size":B, "blocks":K, "requested":R, "workers":W,
+///    "wall_ns":..., "spawn_ns":..., "join_ns":..., "busy_ns":[..],
+///    "blocks_claimed":[..], "busy_total_ns":..., "idle_total_ns":...,
+///    "imbalance":..., "speedup":..., "efficiency":...}  — one
+///    ParallelForBlocks fork-join region (parallel_stats.h); the two
+///    arrays are per-worker, index 0 = the calling thread. A signal
+///    landing mid-region instead flushes a truncated variant with
+///    "partial":true, "blocks_done" and busy-so-far totals
+///   {"type":"mutex_wait", "name":..., "t_ms":..., "tid":...,
+///    "wait_ns":..., "contended":..., "long_waits":...,
+///    "total_wait_ns":...}  — one obs::TimedMutex wait that crossed the
+///    long-wait threshold; counters are the mutex's lifetime totals
 /// Writers format the line; sinks only append and are thread-safe.
 ///
 /// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"
@@ -79,7 +96,10 @@ class RecordSink {
   virtual void Flush() {}
 };
 
-/// Buffered, mutex-guarded JSONL file sink.
+/// Buffered, mutex-guarded JSONL file sink. Writer contention is itself
+/// telemetry: the guard is a TimedMutex (wait histogram + flight events
+/// on long waits) constructed with emit_records=false, since emitting a
+/// `mutex_wait` record would re-enter this sink under its own lock.
 class JsonlFileSink : public RecordSink {
  public:
   static Result<std::unique_ptr<JsonlFileSink>> Open(const std::string& path);
@@ -94,7 +114,9 @@ class JsonlFileSink : public RecordSink {
  private:
   JsonlFileSink(std::FILE* file, std::string path);
 
-  std::mutex mu_;
+  TimedMutex mu_{"sink/jsonl",
+                 TimedMutex::Options{.long_wait_nanos = 10'000'000,
+                                     .emit_records = false}};
   std::FILE* file_;
   std::string path_;
 };

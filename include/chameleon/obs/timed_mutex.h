@@ -1,0 +1,90 @@
+#ifndef CHAMELEON_OBS_TIMED_MUTEX_H_
+#define CHAMELEON_OBS_TIMED_MUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "chameleon/util/common.h"
+
+/// \file timed_mutex.h
+/// obs::TimedMutex — a std::mutex wrapper that measures what plain CPU
+/// profiling cannot see: time a thread spends *off* CPU waiting for a
+/// lock. Uncontended acquisition is one try_lock (no timestamps taken);
+/// only the contended path pays for two MonotonicNanos() calls, a log2
+/// wait-histogram observation (`mutex/<name>/wait` in the metrics
+/// registry), and — for waits at or above `long_wait_nanos` — a
+/// kLockWait flight-recorder event plus an optional `mutex_wait` JSONL
+/// record, so a stall dump names the lock a wedged thread was queued on.
+///
+/// Satisfies the Lockable requirements, so std::lock_guard /
+/// std::unique_lock work unchanged.
+///
+/// Self-instrumentation hazard: the global JSONL sink serializes writers
+/// with a TimedMutex of its own. Emitting a `mutex_wait` record from
+/// *that* mutex would re-enter the sink while it is held, so sinks (and
+/// any lock a RecordSink::Write may take) must construct with
+/// `emit_records = false` — long waits there still reach the flight
+/// recorder and the metrics registry, both sink-independent.
+
+namespace chameleon::obs {
+
+class TimedMutex {
+ public:
+  struct Options {
+    /// Waits at or above this threshold emit a kLockWait flight event
+    /// (and a `mutex_wait` record when `emit_records`). Default 10 ms.
+    std::uint64_t long_wait_nanos = 10'000'000;
+    /// Emit `mutex_wait` JSONL records for long waits. MUST be false for
+    /// any mutex on the sink's own write path (see file comment).
+    bool emit_records = true;
+  };
+
+  // Two constructors instead of `Options options = {}`: a nested class
+  // with default member initializers is incomplete where the enclosing
+  // class's default arguments are parsed.
+  explicit TimedMutex(std::string_view name) : TimedMutex(name, Options()) {}
+  TimedMutex(std::string_view name, Options options)
+      : name_(name), options_(options) {}
+  CHAMELEON_DISALLOW_COPY_AND_ASSIGN(TimedMutex);
+
+  void lock() {
+    if (mu_.try_lock()) return;
+    LockContended();
+  }
+
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+  const std::string& name() const { return name_; }
+
+  /// Lifetime contention counters (relaxed; readable at any time).
+  std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t long_waits() const {
+    return long_waits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_wait_nanos() const {
+    return total_wait_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Slow path: the lock was held when we arrived. Times the blocking
+  /// acquire, then records the wait (after acquisition, so the telemetry
+  /// itself never extends the critical section of the previous holder).
+  void LockContended();
+
+  std::mutex mu_;
+  const std::string name_;
+  const Options options_;
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> long_waits_{0};
+  std::atomic<std::uint64_t> total_wait_ns_{0};
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_TIMED_MUTEX_H_

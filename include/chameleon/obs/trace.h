@@ -21,7 +21,9 @@
 /// keeps the individual iterations apart.
 ///
 /// Each span record also carries per-phase resource accounting (deltas
-/// between open and close on the owning thread): thread CPU time, minor/
+/// between open and close on the owning thread): thread CPU time, the
+/// wall-vs-CPU off-CPU gap with voluntary/involuntary context-switch
+/// counts (where the thread *waited*, not just where it worked), minor/
 /// major page faults, heap allocation count/bytes, plus the process peak
 /// RSS at close and a stable small thread index (`tid`) that keeps
 /// threads apart in Chrome/Perfetto traces.
@@ -35,6 +37,8 @@ struct ThreadResourceSample {
   std::uint64_t cpu_ns = 0;        ///< CLOCK_THREAD_CPUTIME_ID
   std::uint64_t minor_faults = 0;  ///< RUSAGE_THREAD when available
   std::uint64_t major_faults = 0;
+  std::uint64_t voluntary_csw = 0;    ///< ru_nvcsw: blocked on I/O or a lock
+  std::uint64_t involuntary_csw = 0;  ///< ru_nivcsw: preempted by the kernel
   std::uint64_t max_rss_kb = 0;  ///< process peak RSS (kilobytes)
   std::uint64_t allocs = 0;      ///< thread heap allocations (count)
   std::uint64_t alloc_bytes = 0;

@@ -13,6 +13,14 @@
 /// piles onto hub vertices), while the fixed block boundaries let callers
 /// accumulate per-block partial results and reduce them in block order —
 /// making floating-point output independent of the worker count.
+///
+/// While observability is live (obs::InitObservability), every region
+/// additionally emits one `parallel_region` JSONL record — per-worker
+/// busy/idle time, blocks claimed, imbalance, spawn+join overhead, and
+/// realized speedup (see chameleon/obs/parallel_stats.h). The
+/// instrumentation only timestamps the existing block claims; block
+/// boundaries and the worker-count clamps are shared with the plain
+/// path, so outputs stay bit-identical with telemetry on or off.
 
 namespace chameleon {
 

@@ -1,0 +1,28 @@
+#ifndef CHAMELEON_UTIL_THREADS_FLAG_H_
+#define CHAMELEON_UTIL_THREADS_FLAG_H_
+
+#include "chameleon/util/flags.h"
+
+/// \file threads_flag.h
+/// The one true `--threads` flag. Every parallel tool registers it
+/// through AddThreadsFlag (same name, same help text, same "0 = hardware
+/// concurrency" semantics) and resolves it through ResolvedThreads, which
+/// applies EffectiveThreads() — so the count a tool records in its run
+/// manifest is the count ParallelForBlocks actually starts from, not the
+/// raw flag value. Per-region clamps (block count, real cores, minimum
+/// grain) still apply inside ParallelForBlocks and are reported per
+/// region in the `parallel_region` telemetry as requested vs. workers.
+
+namespace chameleon {
+
+/// Registers the shared `--threads` flag (default 0 = hardware
+/// concurrency).
+void AddThreadsFlag(FlagSet& flags);
+
+/// The parsed `--threads` value after EffectiveThreads(): >= 1, suitable
+/// for manifest recording and for passing to ParallelForBlocks.
+int ResolvedThreads(const FlagSet& flags);
+
+}  // namespace chameleon
+
+#endif  // CHAMELEON_UTIL_THREADS_FLAG_H_

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validates a chameleon_scaling sweep JSON (schema chameleon-scaling-v1).
+
+Usage: check_scaling.py <scaling.json> [--obs=metrics.jsonl]
+           [--min-speedup2=X] [--min-threads=N]
+
+Structural checks always run: schema tag, host block, non-empty rows
+with the required fields, a threads=1 baseline row whose speedup is
+exactly 1.0, positive wall times, speedup consistent with the recorded
+medians (speedup[t] == wall_median[1] / wall_median[t] within 1e-6
+relative), efficiency == speedup / threads, and a fit block.
+
+--obs cross-checks the sweep against the parallel_region records in the
+metrics JSONL the same run emitted: for each row, the number of
+non-partial parallel_region records whose region name contains the
+"scaling[t<threads>]" rep-span marker and whose requested count equals
+the row's threads must equal the row's "regions" count.
+
+--min-speedup2 gates on the measured speedup of the threads=2 row
+(e.g. 1.3 in CI). The gate is skipped with a note when the host has
+fewer than 2 CPUs or when workers were clamped below 2 — a 1-CPU
+runner cannot show parallel speedup and should not fail the job.
+
+Exits 0 on success, 1 on a validation failure, 2 on usage errors.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> int:
+    print(f"check_scaling: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+ROW_FIELDS = (
+    "threads", "workers", "reps", "wall_ns_median", "wall_ns_min",
+    "speedup", "efficiency", "regions", "busy_ns", "idle_ns",
+    "overhead_ns", "max_imbalance",
+)
+
+
+def check_rows(doc: dict) -> str | None:
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return "rows missing or empty"
+    for row in rows:
+        for field in ROW_FIELDS:
+            if field not in row:
+                return f"row threads={row.get('threads')}: missing {field!r}"
+        if row["wall_ns_median"] <= 0:
+            return f"row threads={row['threads']}: non-positive wall_ns_median"
+        if row["regions"] <= 0:
+            return f"row threads={row['threads']}: no parallel regions"
+        if not 1 <= row["workers"] <= row["threads"]:
+            return (f"row threads={row['threads']}: workers={row['workers']} "
+                    f"outside [1, threads]")
+    base = next((r for r in rows if r["threads"] == 1), None)
+    if base is None:
+        return "no threads=1 baseline row"
+    if abs(base["speedup"] - 1.0) > 1e-9:
+        return f"baseline speedup is {base['speedup']}, expected 1.0"
+    for row in rows:
+        # The writer rounds to 4 decimals, so allow half an ulp of that.
+        want = base["wall_ns_median"] / row["wall_ns_median"]
+        if abs(row["speedup"] - want) > 6e-5 * max(1.0, want):
+            return (f"row threads={row['threads']}: speedup {row['speedup']} "
+                    f"inconsistent with medians (expected {want:.6f})")
+        want_eff = row["speedup"] / row["threads"]
+        if abs(row["efficiency"] - want_eff) > 6e-5:
+            return (f"row threads={row['threads']}: efficiency "
+                    f"{row['efficiency']} != speedup/threads {want_eff:.6f}")
+    return None
+
+
+def cross_check_obs(doc: dict, obs_path: str) -> str | None:
+    """Counts non-partial parallel_region records per sweep row."""
+    counts = {row["threads"]: 0 for row in doc["rows"]}
+    with open(obs_path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                return f"{obs_path}:{lineno}: invalid JSON: {err}"
+            if obj.get("type") != "parallel_region" or obj.get("partial"):
+                continue
+            name = obj.get("name", "")
+            for threads in counts:
+                if f"scaling[t{threads}]" in name:
+                    if obj.get("requested") != threads:
+                        return (f"{obs_path}:{lineno}: region {name!r} has "
+                                f"requested={obj.get('requested')}, expected "
+                                f"{threads}")
+                    counts[threads] += 1
+                    break
+    for row in doc["rows"]:
+        got = counts[row["threads"]]
+        if got != row["regions"]:
+            return (f"row threads={row['threads']}: sweep counted "
+                    f"{row['regions']} regions but the JSONL stream holds "
+                    f"{got} matching parallel_region records")
+    return None
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    opts = dict(a.lstrip("-").split("=", 1) for a in sys.argv[1:]
+                if a.startswith("--") and "=" in a)
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(args[0], encoding="utf-8") as stream:
+            doc = json.load(stream)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"{args[0]}: {err}")
+
+    if doc.get("schema") != "chameleon-scaling-v1":
+        return fail(f"unexpected schema tag {doc.get('schema')!r}")
+    host = doc.get("host", {})
+    if "cpus" not in host or "hostname" not in host:
+        return fail("host block missing cpus/hostname")
+    if "fit" not in doc:
+        return fail("fit block missing")
+
+    err = check_rows(doc)
+    if err:
+        return fail(err)
+
+    if "obs" in opts:
+        err = cross_check_obs(doc, opts["obs"])
+        if err:
+            return fail(err)
+
+    min_threads = int(opts.get("min-threads", "2"))
+    if max(r["threads"] for r in doc["rows"]) < min_threads:
+        return fail(f"sweep tops out below --min-threads={min_threads}")
+
+    if "min-speedup2" in opts:
+        want = float(opts["min-speedup2"])
+        row2 = next((r for r in doc["rows"] if r["threads"] == 2), None)
+        if row2 is None:
+            return fail("--min-speedup2 given but no threads=2 row")
+        if host["cpus"] < 2 or row2["workers"] < 2:
+            print(f"check_scaling: note: speedup gate skipped "
+                  f"(cpus={host['cpus']}, workers={row2['workers']})")
+        elif row2["speedup"] < want:
+            return fail(f"threads=2 speedup {row2['speedup']:.3f} < {want}")
+        else:
+            print(f"check_scaling: threads=2 speedup "
+                  f"{row2['speedup']:.3f} >= {want}")
+
+    rows = len(doc["rows"])
+    print(f"check_scaling: OK ({rows} rows, workload "
+          f"{doc.get('workload')!r}, host cpus={host['cpus']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

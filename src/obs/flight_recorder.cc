@@ -122,6 +122,8 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
       return "seed";
     case FlightEventKind::kGraphOp:
       return "graph_op";
+    case FlightEventKind::kLockWait:
+      return "lock_wait";
   }
   return "unknown";
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/parallel_stats.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/status_server.h"
@@ -86,6 +87,11 @@ void FinalizeRun(int signal_number) {
   // hundred events next to the evidence of how it died. Clean shutdowns
   // skip it: the full JSONL stream already tells the story.
   if (signal_number >= 0) EmitFlightRecorderDump(sink, signal_number);
+
+  // Likewise, a signal that lands mid-sweep flushes one partial
+  // parallel_region record per fork-join region still in flight, so a
+  // killed scaling run keeps the region it died inside.
+  if (signal_number >= 0) EmitInFlightParallelRegions(sink);
 
   const double wall_ms =
       static_cast<double>(MonotonicNanos() - run_start) * 1e-6;

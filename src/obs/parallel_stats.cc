@@ -1,0 +1,227 @@
+#include "chameleon/obs/parallel_stats.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/obs/trace.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_regions_recorded{0};
+
+/// In-flight regions, for the signal-time partial dump. Leaked mutex +
+/// set so a region closing during process teardown never touches a
+/// destructed lock (same doctrine as the live-span table).
+std::mutex& ActiveRegionsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unordered_set<const ActiveParallelRegion*>& ActiveRegions() {
+  static auto* set = new std::unordered_set<const ActiveParallelRegion*>();
+  return *set;
+}
+
+/// Cumulative per-name aggregates. Keyed by the index-stripped region
+/// name so loop iterations fold together, like span metric names.
+std::mutex& AggregatesMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, ParallelRegionAggregate>& Aggregates() {
+  static auto* map = new std::map<std::string, ParallelRegionAggregate>();
+  return *map;
+}
+
+}  // namespace
+
+std::uint64_t ParallelRegionStats::BusyTotalNanos() const {
+  std::uint64_t total = 0;
+  for (const ParallelWorkerSample& w : per_worker) total += w.busy_ns;
+  return total;
+}
+
+std::uint64_t ParallelRegionStats::IdleTotalNanos() const {
+  std::uint64_t total = 0;
+  for (const ParallelWorkerSample& w : per_worker) {
+    if (wall_ns > w.busy_ns) total += wall_ns - w.busy_ns;
+  }
+  return total;
+}
+
+double ParallelRegionStats::Imbalance() const {
+  if (per_worker.size() <= 1) return 1.0;
+  std::uint64_t max_busy = 0;
+  for (const ParallelWorkerSample& w : per_worker) {
+    max_busy = std::max(max_busy, w.busy_ns);
+  }
+  const std::uint64_t total = BusyTotalNanos();
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(per_worker.size());
+  return static_cast<double>(max_busy) / mean;
+}
+
+double ParallelRegionStats::Speedup() const {
+  if (wall_ns == 0) return 1.0;
+  return static_cast<double>(BusyTotalNanos()) / static_cast<double>(wall_ns);
+}
+
+double ParallelRegionStats::Efficiency() const {
+  if (per_worker.empty()) return 1.0;
+  return Speedup() / static_cast<double>(per_worker.size());
+}
+
+ActiveParallelRegion::ActiveParallelRegion(std::string_view name,
+                                          std::uint64_t items,
+                                          std::uint64_t block_size,
+                                          std::uint64_t blocks,
+                                          std::uint64_t requested,
+                                          std::uint64_t workers)
+    : name_(name),
+      items_(items),
+      block_size_(block_size),
+      blocks_(blocks),
+      requested_(requested),
+      workers_(workers),
+      start_ns_(MonotonicNanos()) {
+  const std::lock_guard<std::mutex> lock(ActiveRegionsMu());
+  ActiveRegions().insert(this);
+}
+
+ActiveParallelRegion::~ActiveParallelRegion() {
+  const std::lock_guard<std::mutex> lock(ActiveRegionsMu());
+  ActiveRegions().erase(this);
+}
+
+std::string FormatParallelRegionRecord(const ParallelRegionStats& stats) {
+  std::string line = StrFormat(
+      "{\"type\":\"parallel_region\",\"name\":\"%s\",\"t_ms\":%llu,"
+      "\"items\":%llu,\"block_size\":%llu,\"blocks\":%llu,"
+      "\"requested\":%llu,\"workers\":%llu,\"wall_ns\":%llu,"
+      "\"spawn_ns\":%llu,\"join_ns\":%llu",
+      JsonEscape(stats.name).c_str(),
+      static_cast<unsigned long long>(WallUnixMillis()),
+      static_cast<unsigned long long>(stats.items),
+      static_cast<unsigned long long>(stats.block_size),
+      static_cast<unsigned long long>(stats.blocks),
+      static_cast<unsigned long long>(stats.requested),
+      static_cast<unsigned long long>(stats.workers),
+      static_cast<unsigned long long>(stats.wall_ns),
+      static_cast<unsigned long long>(stats.spawn_ns),
+      static_cast<unsigned long long>(stats.join_ns));
+  line += ",\"busy_ns\":[";
+  for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+    line += StrFormat(
+        "%s%llu", w == 0 ? "" : ",",
+        static_cast<unsigned long long>(stats.per_worker[w].busy_ns));
+  }
+  line += "],\"blocks_claimed\":[";
+  for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+    line += StrFormat(
+        "%s%llu", w == 0 ? "" : ",",
+        static_cast<unsigned long long>(stats.per_worker[w].blocks));
+  }
+  line += StrFormat(
+      "],\"busy_total_ns\":%llu,\"idle_total_ns\":%llu,"
+      "\"imbalance\":%.4f,\"speedup\":%.4f,\"efficiency\":%.4f}",
+      static_cast<unsigned long long>(stats.BusyTotalNanos()),
+      static_cast<unsigned long long>(stats.IdleTotalNanos()),
+      stats.Imbalance(), stats.Speedup(), stats.Efficiency());
+  return line;
+}
+
+void RecordParallelRegion(const ParallelRegionStats& stats) {
+  g_regions_recorded.fetch_add(1, std::memory_order_relaxed);
+
+  if (RecordSink* sink = GlobalSink(); sink != nullptr) {
+    sink->Write(FormatParallelRegionRecord(stats));
+  }
+
+  // Metric names strip `[i]` loop indices (static cardinality, like
+  // span/<path> histograms): one counter family per instrumented call
+  // site, not per iteration.
+  const std::string stripped = StripPathIndices(stats.name);
+  MetricsRegistry& metrics = GlobalMetrics();
+  metrics.Count("parallel/regions", 1);
+  if (stats.workers > 1) {
+    metrics.Count("parallel/workers_spawned", stats.workers - 1);
+  }
+  const std::string prefix = "parallel/" + stripped;
+  metrics.Count(prefix + "/regions", 1);
+  metrics.Count(prefix + "/busy_ns", stats.BusyTotalNanos());
+  metrics.Count(prefix + "/idle_ns", stats.IdleTotalNanos());
+  metrics.Count(prefix + "/overhead_ns", stats.spawn_ns + stats.join_ns);
+  metrics.Observe(prefix + "/wall", stats.wall_ns);
+
+  {
+    const std::lock_guard<std::mutex> lock(AggregatesMu());
+    ParallelRegionAggregate& agg = Aggregates()[stripped];
+    agg.name = stripped;
+    ++agg.regions;
+    agg.wall_ns += stats.wall_ns;
+    agg.busy_ns += stats.BusyTotalNanos();
+    agg.idle_ns += stats.IdleTotalNanos();
+    agg.overhead_ns += stats.spawn_ns + stats.join_ns;
+    agg.blocks += stats.blocks;
+    agg.last_requested = stats.requested;
+    agg.last_workers = stats.workers;
+    agg.max_imbalance = std::max(agg.max_imbalance, stats.Imbalance());
+  }
+}
+
+std::vector<ParallelRegionAggregate> ParallelRegionAggregates() {
+  std::vector<ParallelRegionAggregate> out;
+  const std::lock_guard<std::mutex> lock(AggregatesMu());
+  out.reserve(Aggregates().size());
+  for (const auto& [name, agg] : Aggregates()) out.push_back(agg);
+  return out;  // map order == sorted by name
+}
+
+std::uint64_t ParallelRegionsRecorded() {
+  return g_regions_recorded.load(std::memory_order_relaxed);
+}
+
+void ResetParallelRegionAggregates() {
+  const std::lock_guard<std::mutex> lock(AggregatesMu());
+  Aggregates().clear();
+}
+
+void EmitInFlightParallelRegions(RecordSink* sink) {
+  if (sink == nullptr) return;
+  // Signal context: never block on the registry. A signal that lands
+  // while the caller thread is inside register/unregister would deadlock
+  // a plain lock; skipping the dump loses telemetry, not the run.
+  std::unique_lock<std::mutex> lock(ActiveRegionsMu(), std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  const std::uint64_t now = MonotonicNanos();
+  for (const ActiveParallelRegion* region : ActiveRegions()) {
+    sink->Write(StrFormat(
+        "{\"type\":\"parallel_region\",\"partial\":true,\"name\":\"%s\","
+        "\"t_ms\":%llu,\"items\":%llu,\"block_size\":%llu,\"blocks\":%llu,"
+        "\"requested\":%llu,\"workers\":%llu,\"blocks_done\":%llu,"
+        "\"busy_total_ns\":%llu,\"wall_ns\":%llu}",
+        JsonEscape(region->name_).c_str(),
+        static_cast<unsigned long long>(WallUnixMillis()),
+        static_cast<unsigned long long>(region->items_),
+        static_cast<unsigned long long>(region->block_size_),
+        static_cast<unsigned long long>(region->blocks_),
+        static_cast<unsigned long long>(region->requested_),
+        static_cast<unsigned long long>(region->workers_),
+        static_cast<unsigned long long>(
+            region->blocks_done_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            region->busy_ns_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            now > region->start_ns_ ? now - region->start_ns_ : 0)));
+  }
+}
+
+}  // namespace chameleon::obs

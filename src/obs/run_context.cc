@@ -170,10 +170,13 @@ void EmitRunManifest(const RunManifest& manifest) {
   if (sink == nullptr) return;
   // Seeds also land in the flight recorder: a crash dump then shows
   // which RNG streams the dead run was using without scanning back to
-  // the manifest record.
+  // the manifest record. (Compile-guarded: with obs off the macro
+  // expands to nothing and the bindings would trip -Werror=unused.)
+#if CHAMELEON_OBS_ENABLED
   for (const auto& [name, value] : manifest.seeds()) {
     CHOBS_FLIGHT_EVENT(kSeed, name, value, 0);
   }
+#endif
   sink->Write(manifest.ToJsonLine());
   sink->Flush();  // survive even if the run dies before the first snapshot
 }

@@ -19,19 +19,19 @@ JsonlFileSink::JsonlFileSink(std::FILE* file, std::string path)
     : file_(file), path_(std::move(path)) {}
 
 JsonlFileSink::~JsonlFileSink() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<TimedMutex> lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
 void JsonlFileSink::Write(std::string_view line) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<TimedMutex> lock(mu_);
   if (file_ == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
 }
 
 void JsonlFileSink::Flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<TimedMutex> lock(mu_);
   if (file_ != nullptr) std::fflush(file_);
 }
 

@@ -18,6 +18,7 @@
 
 #include "chameleon/obs/convergence.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/parallel_stats.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/progress.h"
 #include "chameleon/obs/run_context.h"
@@ -139,6 +140,30 @@ std::string StatuszText() {
         est.mean, est.ci_halfwidth, est.rel_err, est.rate_per_s,
         est.finished ? (est.stopped_early ? " [stopped early]" : " [done]")
                      : "");
+  }
+
+  text += "\nparallel regions:\n";
+  const std::vector<ParallelRegionAggregate> regions =
+      ParallelRegionAggregates();
+  if (regions.empty()) text += "  (none)\n";
+  for (const ParallelRegionAggregate& region : regions) {
+    const double wall_s = static_cast<double>(region.wall_ns) * 1e-9;
+    const double speedup =
+        region.wall_ns > 0 ? static_cast<double>(region.busy_ns) /
+                                 static_cast<double>(region.wall_ns)
+                           : 1.0;
+    const double efficiency =
+        region.last_workers > 0
+            ? speedup / static_cast<double>(region.last_workers)
+            : 1.0;
+    text += StrFormat(
+        "  %s: regions=%llu workers=%llu/%llu wall=%.3f s speedup=%.2fx "
+        "eff=%.0f%% max_imbalance=%.2f overhead=%.1f ms\n",
+        region.name.c_str(), static_cast<unsigned long long>(region.regions),
+        static_cast<unsigned long long>(region.last_workers),
+        static_cast<unsigned long long>(region.last_requested), wall_s,
+        speedup, efficiency * 100.0, region.max_imbalance,
+        static_cast<double>(region.overhead_ns) * 1e-6);
   }
   return text;
 }

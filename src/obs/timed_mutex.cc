@@ -1,0 +1,43 @@
+#include "chameleon/obs/timed_mutex.h"
+
+#include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::obs {
+
+void TimedMutex::LockContended() {
+  const std::uint64_t t0 = MonotonicNanos();
+  mu_.lock();
+  const std::uint64_t wait_ns = MonotonicNanos() - t0;
+
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  total_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+
+  if (!Enabled()) return;
+  GlobalMetrics().Observe("mutex/" + name_ + "/wait", wait_ns);
+
+  if (wait_ns < options_.long_wait_nanos) return;
+  long_waits_.fetch_add(1, std::memory_order_relaxed);
+  CHOBS_FLIGHT_EVENT(kLockWait, name_, wait_ns, 0);
+  if (options_.emit_records) {
+    if (RecordSink* sink = GlobalSink(); sink != nullptr) {
+      sink->Write(StrFormat(
+          "{\"type\":\"mutex_wait\",\"name\":\"%s\",\"t_ms\":%llu,"
+          "\"tid\":%u,\"wait_ns\":%llu,\"contended\":%llu,"
+          "\"long_waits\":%llu,\"total_wait_ns\":%llu}",
+          JsonEscape(name_).c_str(),
+          static_cast<unsigned long long>(WallUnixMillis()),
+          CurrentThreadIndex(), static_cast<unsigned long long>(wait_ns),
+          static_cast<unsigned long long>(
+              contended_.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              long_waits_.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              total_wait_ns_.load(std::memory_order_relaxed))));
+    }
+  }
+}
+
+}  // namespace chameleon::obs

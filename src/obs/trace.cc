@@ -97,6 +97,8 @@ ThreadResourceSample SampleThreadResources() {
     sample.minor_faults = NonNegative(ru.ru_minflt);
     sample.major_faults = NonNegative(ru.ru_majflt);
     sample.max_rss_kb = NonNegative(ru.ru_maxrss);
+    sample.voluntary_csw = NonNegative(ru.ru_nvcsw);
+    sample.involuntary_csw = NonNegative(ru.ru_nivcsw);
   }
 #ifdef RUSAGE_THREAD
   // ru_maxrss under RUSAGE_THREAD is still the process peak on Linux, but
@@ -249,17 +251,25 @@ TraceSpan::~TraceSpan() {
     const auto delta = [](std::uint64_t lo, std::uint64_t hi) {
       return hi > lo ? hi - lo : 0;
     };
+    const std::uint64_t cpu_ns = delta(start_resources_.cpu_ns, end.cpu_ns);
     std::string line = StrFormat(
         "{\"type\":\"span\",\"path\":\"%s\",\"tid\":%u,\"t_ms\":%llu,"
         "\"mono_ns\":%llu,\"dur_ns\":%llu,\"cpu_ns\":%llu,"
+        "\"offcpu_ns\":%llu,\"vcsw\":%llu,\"ivcsw\":%llu,"
         "\"max_rss_kb\":%llu,\"minflt\":%llu,\"majflt\":%llu,"
         "\"allocs\":%llu,\"alloc_bytes\":%llu",
         JsonEscape(path_).c_str(), CurrentThreadIndex(),
         static_cast<unsigned long long>(start_wall_millis_),
         static_cast<unsigned long long>(start_nanos_),
         static_cast<unsigned long long>(duration),
+        static_cast<unsigned long long>(cpu_ns),
+        // Wall-vs-CPU gap: time this thread existed inside the span but
+        // was not running — blocked, runnable-but-preempted, or asleep.
+        static_cast<unsigned long long>(delta(cpu_ns, duration)),
         static_cast<unsigned long long>(
-            delta(start_resources_.cpu_ns, end.cpu_ns)),
+            delta(start_resources_.voluntary_csw, end.voluntary_csw)),
+        static_cast<unsigned long long>(
+            delta(start_resources_.involuntary_csw, end.involuntary_csw)),
         static_cast<unsigned long long>(end.max_rss_kb),
         static_cast<unsigned long long>(
             delta(start_resources_.minor_faults, end.minor_faults)),

@@ -1,0 +1,17 @@
+#include "chameleon/util/threads_flag.h"
+
+#include "chameleon/util/parallel.h"
+
+namespace chameleon {
+
+void AddThreadsFlag(FlagSet& flags) {
+  flags.AddInt64("threads", 0,
+                 "worker threads (0 = hardware concurrency); per-region "
+                 "clamps still apply");
+}
+
+int ResolvedThreads(const FlagSet& flags) {
+  return EffectiveThreads(static_cast<int>(flags.GetInt64("threads")));
+}
+
+}  // namespace chameleon

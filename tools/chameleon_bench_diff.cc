@@ -3,10 +3,13 @@
 //   chameleon_bench_diff BENCH_baseline.json BENCH_current.json
 //
 // Exit codes: 0 = no regressions, 1 = at least one regression, 2 = usage
-// or I/O error. A benchmark regresses when its median slows down by more
-// than --threshold AND the delta exceeds --mad_mult times the larger MAD
-// of the two runs, so run-to-run jitter on a noisy host cannot fail CI on
-// its own.
+// or I/O error, 3 = no regressions but the two files were produced on
+// different hosts (hostname or cpu count differ), so the numbers are not
+// directly comparable — an annotation, not a failure; CI's hard gates
+// self-diff on one runner and never see it. A benchmark regresses when
+// its median slows down by more than --threshold AND the delta exceeds
+// --mad_mult times the larger MAD of the two runs, so run-to-run jitter
+// on a noisy host cannot fail CI on its own.
 
 #include <cstdio>
 
@@ -67,6 +70,28 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "warning: comparing suite \"%s\" to \"%s\"\n",
                  baseline->suite.c_str(), current->suite.c_str());
   }
+  // Cross-host numbers answer "is this machine slower" as readily as "is
+  // this code slower" — warn, and mark an otherwise-clean diff with exit
+  // 3 so scripts can tell the verdicts apart. Files predating the host
+  // block (empty hostname / 0 cpus) skip the check.
+  bool host_mismatch = false;
+  if (!baseline->hostname.empty() && !current->hostname.empty() &&
+      baseline->hostname != current->hostname) {
+    host_mismatch = true;
+    std::fprintf(stderr,
+                 "warning: baseline ran on host \"%s\" but current on "
+                 "\"%s\" — medians are not directly comparable\n",
+                 baseline->hostname.c_str(), current->hostname.c_str());
+  }
+  if (baseline->cpus > 0 && current->cpus > 0 &&
+      baseline->cpus != current->cpus) {
+    host_mismatch = true;
+    std::fprintf(stderr,
+                 "warning: baseline host had %lld cpus but current has "
+                 "%lld — parallel benchmarks shift with the core count\n",
+                 static_cast<long long>(baseline->cpus),
+                 static_cast<long long>(current->cpus));
+  }
   std::fprintf(stdout, "baseline: %s (%s)\ncurrent:  %s (%s)\n\n",
                flags.positional()[0].c_str(),
                baseline->git_describe.empty() ? "?"
@@ -82,7 +107,8 @@ int Run(int argc, char** argv) {
       bench::CompareBenchSuites(*baseline, *current, options);
   std::fprintf(stdout, "%s",
                bench::FormatDiffReport(report, options).c_str());
-  return report.regressions > 0 ? 1 : 0;
+  if (report.regressions > 0) return 1;
+  return host_mismatch ? 3 : 0;
 }
 
 }  // namespace

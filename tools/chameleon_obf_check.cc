@@ -27,6 +27,7 @@
 #include "chameleon/privacy/uniqueness.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/stats.h"
+#include "chameleon/util/threads_flag.h"
 #include "chameleon/util/string_util.h"
 
 namespace chameleon {
@@ -114,7 +115,7 @@ int Run(int argc, char** argv) {
   flags.AddString("adversary", "expected",
                   "knowledge model: expected (round E[deg v]) | structural "
                   "(incident edge count)");
-  flags.AddInt64("threads", 0, "worker threads (0 = hardware concurrency)");
+  AddThreadsFlag(flags);
   flags.AddString("out", "", "write the verdict JSON here");
   flags.AddString("csv", "", "write the per-vertex CSV here");
   flags.AddDouble("bandwidth", 0.0,
@@ -160,7 +161,7 @@ int Run(int argc, char** argv) {
   privacy::ObfuscationOptions options;
   options.k = flags.GetDouble("k");
   options.epsilon = flags.GetDouble("eps");
-  options.threads = static_cast<int>(flags.GetInt64("threads"));
+  options.threads = ResolvedThreads(flags);
   const std::string& adversary = flags.GetString("adversary");
   if (adversary == "expected") {
     options.adversary = privacy::AdversaryModel::kRoundedExpectedDegree;
@@ -215,6 +216,7 @@ int Run(int argc, char** argv) {
   manifest.AddParam("graph", graph_path);
   manifest.AddParam("k", StrFormat("%.10g", options.k));
   manifest.AddParam("eps", StrFormat("%.10g", options.epsilon));
+  manifest.AddParam("threads", StrFormat("%d", options.threads));
   obs::EmitRunManifest(manifest);
 
   const Result<graph::UncertainGraph> graph = graph::ReadEdgeList(graph_path);

@@ -22,6 +22,7 @@
 
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/sink.h"
+#include "chameleon/obs/trace.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/status.h"
 #include "chameleon/util/string_util.h"
@@ -103,6 +104,27 @@ struct WatchdogStallRow {
   bool aborting = false;
 };
 
+/// Aggregate of "parallel_region" records sharing one index-stripped
+/// region name (loop iterations fold together, like the phase table).
+struct ParallelRegionDumpAgg {
+  std::uint64_t regions = 0;
+  std::uint64_t partials = 0;  ///< "partial":true records (signal exits)
+  double wall_ns = 0.0;
+  double busy_ns = 0.0;
+  double idle_ns = 0.0;
+  double overhead_ns = 0.0;  ///< spawn + join
+  double workers = 0.0;      ///< last seen
+  double requested = 0.0;    ///< last seen
+  double max_imbalance = 0.0;
+};
+
+/// Aggregate of "mutex_wait" records (long lock waits) per mutex name.
+struct MutexWaitDumpAgg {
+  std::uint64_t records = 0;
+  double max_wait_ns = 0.0;
+  double sum_wait_ns = 0.0;  ///< across the reported long waits
+};
+
 /// One "flight_event_dump" record: the per-thread flight-recorder rings
 /// dumped when a run dies on a signal.
 struct FlightDumpRow {
@@ -123,6 +145,8 @@ struct DumpResult {
   std::vector<CrashRow> crashes;
   std::vector<WatchdogStallRow> stalls;
   std::vector<FlightDumpRow> flight_dumps;
+  std::map<std::string, ParallelRegionDumpAgg> parallel_regions;
+  std::map<std::string, MutexWaitDumpAgg> mutex_waits;
   /// Distinct record types this build does not recognize (forward-compat
   /// passthrough: counted, mentioned once each on stderr, never fatal).
   std::map<std::string, std::size_t> unknown_types;
@@ -317,6 +341,37 @@ Result<DumpResult> Load(const std::string& path) {
       row.open_ms = obs::JsonlNumberField(line, "open_ms").value_or(0.0);
       row.aborting = line.find("\"aborting\":true") != std::string::npos;
       out.stalls.push_back(std::move(row));
+    } else if (*type == "parallel_region") {
+      const auto name = obs::JsonlStringField(line, "name");
+      if (!name.has_value()) continue;
+      ParallelRegionDumpAgg& agg =
+          out.parallel_regions[obs::StripPathIndices(*name)];
+      if (line.find("\"partial\":true") != std::string::npos) {
+        ++agg.partials;
+        continue;
+      }
+      ++agg.regions;
+      agg.wall_ns += obs::JsonlNumberField(line, "wall_ns").value_or(0.0);
+      agg.busy_ns +=
+          obs::JsonlNumberField(line, "busy_total_ns").value_or(0.0);
+      agg.idle_ns +=
+          obs::JsonlNumberField(line, "idle_total_ns").value_or(0.0);
+      agg.overhead_ns +=
+          obs::JsonlNumberField(line, "spawn_ns").value_or(0.0) +
+          obs::JsonlNumberField(line, "join_ns").value_or(0.0);
+      agg.workers = obs::JsonlNumberField(line, "workers").value_or(0.0);
+      agg.requested = obs::JsonlNumberField(line, "requested").value_or(0.0);
+      agg.max_imbalance =
+          std::max(agg.max_imbalance,
+                   obs::JsonlNumberField(line, "imbalance").value_or(0.0));
+    } else if (*type == "mutex_wait") {
+      const auto name = obs::JsonlStringField(line, "name");
+      if (!name.has_value()) continue;
+      MutexWaitDumpAgg& agg = out.mutex_waits[*name];
+      ++agg.records;
+      const double wait = obs::JsonlNumberField(line, "wait_ns").value_or(0.0);
+      agg.max_wait_ns = std::max(agg.max_wait_ns, wait);
+      agg.sum_wait_ns += wait;
     } else if (*type == "flight_event_dump") {
       // The top-level summary fields precede the per-ring objects in the
       // record, so first-occurrence field lookup reads the totals.
@@ -525,6 +580,46 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                   row.obfuscated ? "OK" : "VIOLATED", row.not_obfuscated,
                   row.min_entropy_bits, row.mean_entropy_bits,
                   row.adversary.c_str());
+    }
+  }
+
+  if (!dump.parallel_regions.empty()) {
+    std::printf("\nparallel regions:\n");
+    std::size_t pwidth = 6;
+    for (const auto& [name, agg] : dump.parallel_regions) {
+      pwidth = std::max(pwidth, name.size());
+    }
+    std::printf("%-*s %8s %7s %11s %8s %6s %9s %11s\n",
+                static_cast<int>(pwidth), "region", "regions", "workers",
+                "wall ms", "speedup", "eff", "imbalance", "overhead ms");
+    for (const auto& [name, agg] : dump.parallel_regions) {
+      const double speedup =
+          agg.wall_ns > 0.0 ? agg.busy_ns / agg.wall_ns : 1.0;
+      const double efficiency =
+          agg.workers > 0.0 ? speedup / agg.workers : 1.0;
+      std::printf("%-*s %8llu %4.0f/%-2.0f %11.3f %7.2fx %5.1f%% %9.2f "
+                  "%11.3f%s\n",
+                  static_cast<int>(pwidth), name.c_str(),
+                  static_cast<unsigned long long>(agg.regions), agg.workers,
+                  agg.requested, agg.wall_ns * 1e-6, speedup,
+                  efficiency * 100.0, agg.max_imbalance,
+                  agg.overhead_ns * 1e-6,
+                  agg.partials > 0 ? "  [+partial]" : "");
+    }
+  }
+
+  if (!dump.mutex_waits.empty()) {
+    std::printf("\nlong mutex waits:\n");
+    std::size_t mwidth = 5;
+    for (const auto& [name, agg] : dump.mutex_waits) {
+      mwidth = std::max(mwidth, name.size());
+    }
+    std::printf("%-*s %8s %12s %12s\n", static_cast<int>(mwidth), "mutex",
+                "waits", "max ms", "total ms");
+    for (const auto& [name, agg] : dump.mutex_waits) {
+      std::printf("%-*s %8llu %12.3f %12.3f\n", static_cast<int>(mwidth),
+                  name.c_str(), static_cast<unsigned long long>(agg.records),
+                  agg.max_wait_ns * 1e-6, agg.sum_wait_ns * 1e-6);
     }
   }
 

@@ -183,6 +183,46 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
         "obs_dump for the tail)\n",
         events, threads);
   }
+  if (*type == "parallel_region") {
+    const auto name = obs::JsonlStringField(line, "name");
+    const double workers =
+        obs::JsonlNumberField(line, "workers").value_or(0.0);
+    const double requested =
+        obs::JsonlNumberField(line, "requested").value_or(0.0);
+    const double wall_ns =
+        obs::JsonlNumberField(line, "wall_ns").value_or(0.0);
+    if (line.find("\"partial\":true") != std::string::npos) {
+      const double done =
+          obs::JsonlNumberField(line, "blocks_done").value_or(0.0);
+      const double blocks =
+          obs::JsonlNumberField(line, "blocks").value_or(0.0);
+      return StrFormat(
+          "parallel %s INTERRUPTED: %.0f/%.0f blocks done on %.0f workers\n",
+          name.value_or("?").c_str(), done, blocks, workers);
+    }
+    const double speedup =
+        obs::JsonlNumberField(line, "speedup").value_or(0.0);
+    const double efficiency =
+        obs::JsonlNumberField(line, "efficiency").value_or(0.0);
+    const double imbalance =
+        obs::JsonlNumberField(line, "imbalance").value_or(0.0);
+    return StrFormat(
+        "parallel %s: %.0f/%.0f workers, %.2f ms, speedup %.2fx "
+        "(eff %.0f%%, imbalance %.2f)\n",
+        name.value_or("?").c_str(), workers, requested, wall_ns * 1e-6,
+        speedup, efficiency * 100.0, imbalance);
+  }
+  if (*type == "mutex_wait") {
+    const auto name = obs::JsonlStringField(line, "name");
+    const double wait_ns =
+        obs::JsonlNumberField(line, "wait_ns").value_or(0.0);
+    const double long_waits =
+        obs::JsonlNumberField(line, "long_waits").value_or(0.0);
+    return StrFormat(
+        "LOCK WAIT: mutex %s blocked a thread for %.2f ms "
+        "(long wait #%.0f)\n",
+        name.value_or("?").c_str(), wait_ns * 1e-6, long_waits);
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
