@@ -1,0 +1,199 @@
+// Dormant-overhead budget check for the hardware-counter telemetry: a
+// sampling-style inner loop with one CHOBS_SPAN per iteration, run with
+// observability disabled, must cost no more than --budget over the same
+// loop with no span at all (default 2%). With obs dormant the span
+// constructor is a single relaxed Enabled() load and the destructor an
+// active() check — the hw engine adds exactly one more relaxed
+// HwCountersActive() load on each live open/close, and none at all on
+// the dormant path. The per-span workload (kDrawsPerSpan RNG draws,
+// ~2 us) is two to three orders of magnitude below the shortest span
+// any tool opens (graph/build on the er-2k fixture runs ~1 ms), so the
+// measured ratio over-states every real placement while still being
+// large enough that the ~10 ns dormant-span constant doesn't swamp the
+// 2% budget with pure ratio noise.
+//
+//   micro_hw_overhead [--budget=0.02] [--reps=9] [--out=BENCH_...json]
+//
+// Exit code 0 inside the budget (or inside the repetition noise floor),
+// 1 on a violation — CI gates on it. Same self-contained median/MAD
+// harness as micro_flight_overhead.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chameleon/obs/hw_counters.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/flags.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/timer.h"
+#include "harness.h"
+
+namespace chameleon {
+namespace {
+
+constexpr std::uint64_t kSeed = 2018;
+
+/// RNG draws per span. Sized so a span wraps ~2 us of work — far denser
+/// than any real call site (spans wrap phases, not worlds), yet enough
+/// work that the fixed ~10 ns dormant-span cost reads as a percentage a
+/// 2% budget can meaningfully gate instead of as ratio noise.
+constexpr int kDrawsPerSpan = 512;
+
+/// A world-sampling stand-in: per iteration, a burst of RNG draws and
+/// an accumulate — comparable work to flipping the edges of a small
+/// world. `instrumented` opens one dormant span per iteration.
+template <bool instrumented>
+double TimeLoop(std::size_t iterations) {
+  Rng rng(kSeed);
+  std::uint64_t acc = 0;
+  const std::uint64_t start = MonotonicNanos();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if constexpr (instrumented) {
+      CHOBS_SPAN(span, "bench/hw_tick");
+      for (int draw = 0; draw < kDrawsPerSpan; ++draw) {
+        acc += rng.UniformInt(1u << 20);
+      }
+    } else {
+      for (int draw = 0; draw < kDrawsPerSpan; ++draw) {
+        acc += rng.UniformInt(1u << 20);
+      }
+    }
+  }
+  const std::uint64_t stop = MonotonicNanos();
+  bench::DoNotOptimize(acc);
+  return static_cast<double>(stop - start);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "micro_hw_overhead: dormant hw-counter span vs bare loop "
+      "wall-clock budget check");
+  flags.AddDouble("budget", 0.02,
+                  "max tolerated relative overhead (0.02 = 2%)");
+  flags.AddInt64("reps", 9, "timed repetitions per configuration");
+  flags.AddInt64("iterations", 0,
+                 "loop iterations per repetition (0 = auto-calibrate to "
+                 "~150 ms)");
+  flags.AddString("out", "",
+                  "also write the two timings as a BENCH_*.json suite");
+  flags.AddBool("help", false, "show usage");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", s.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fprintf(stdout, "%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  // Observability stays uninitialized: Enabled() is false and the hw
+  // engine never started, which is exactly the dormant state under
+  // test. Guard against accidental attribution all the same.
+  const std::uint64_t attributed_before = obs::HwSpansAttributed();
+
+  std::size_t iterations =
+      static_cast<std::size_t>(flags.GetInt64("iterations"));
+  if (iterations == 0) {
+    iterations = 1 << 10;
+    for (;;) {
+      const double ns = TimeLoop<false>(iterations);
+      if (ns >= 75e6 || iterations >= (1u << 24)) {
+        iterations = static_cast<std::size_t>(
+            static_cast<double>(iterations) * std::max(1.0, 150e6 / ns));
+        break;
+      }
+      iterations *= 2;
+    }
+  }
+  std::fprintf(stderr, "workload: %zu iterations/rep, %d draws each\n",
+               iterations, kDrawsPerSpan);
+
+  const int reps = static_cast<int>(flags.GetInt64("reps"));
+  std::vector<double> bare_ns;
+  std::vector<double> dormant_ns;
+  // Alternate configurations so slow drift biases both equally.
+  for (int rep = 0; rep < reps; ++rep) {
+    bare_ns.push_back(TimeLoop<false>(iterations));
+    dormant_ns.push_back(TimeLoop<true>(iterations));
+  }
+
+  if (obs::HwSpansAttributed() != attributed_before ||
+      obs::HwCountersActive()) {
+    std::fprintf(stderr,
+                 "FAIL: dormant spans attributed hw counters (engine "
+                 "unexpectedly active?)\n");
+    return 1;
+  }
+
+  const double bare_median = bench::Median(bare_ns);
+  const double dormant_median = bench::Median(dormant_ns);
+  const double bare_mad = bench::MedianAbsDeviation(bare_ns, bare_median);
+  const double dormant_mad =
+      bench::MedianAbsDeviation(dormant_ns, dormant_median);
+  const double delta = dormant_median - bare_median;
+  const double overhead = bare_median > 0.0 ? delta / bare_median : 0.0;
+  const double budget = flags.GetDouble("budget");
+  const double noise_ns = 3.0 * std::max(bare_mad, dormant_mad);
+
+  std::fprintf(stdout,
+               "bare loop: median %.3f ms (MAD %.3f ms)\n"
+               "dormant hw span: median %.3f ms (MAD %.3f ms)\n"
+               "overhead: %+.2f%% (budget %.2f%%, noise floor %.3f ms)\n",
+               bare_median * 1e-6, bare_mad * 1e-6, dormant_median * 1e-6,
+               dormant_mad * 1e-6, overhead * 100.0, budget * 100.0,
+               noise_ns * 1e-6);
+
+  if (!flags.GetString("out").empty()) {
+    const auto make_result = [&](const char* name, double median, double mad,
+                                 const std::vector<double>& samples) {
+      bench::BenchResult result;
+      result.name = name;
+      result.iterations = iterations;
+      result.reps = reps;
+      result.median_ns = median;
+      result.mad_ns = mad;
+      result.min_ns = *std::min_element(samples.begin(), samples.end());
+      result.max_ns = *std::max_element(samples.begin(), samples.end());
+      double sum = 0.0;
+      for (const double v : samples) sum += v;
+      result.mean_ns = sum / static_cast<double>(samples.size());
+      return result;
+    };
+    const std::vector<bench::BenchResult> results = {
+        make_result("BM_SpanLoop_Bare", bare_median, bare_mad, bare_ns),
+        make_result("BM_SpanLoop_DormantHwSpan", dormant_median, dormant_mad,
+                    dormant_ns),
+    };
+    bench::BenchOptions bench_options;
+    bench_options.reps = reps;
+    if (Status s = bench::WriteBenchFile(flags.GetString("out"),
+                                         "hw_overhead", results,
+                                         bench_options);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Jitter inside the noise floor is not overhead — the same dual gate
+  // the other micro_*_overhead benches apply.
+  if (overhead > budget && delta > noise_ns) {
+    std::fprintf(stderr,
+                 "FAIL: dormant hw-span overhead %.2f%% exceeds the "
+                 "%.2f%% budget (+%.3f ms, noise floor %.3f ms)\n",
+                 overhead * 100.0, budget * 100.0, delta * 1e-6,
+                 noise_ns * 1e-6);
+    return 1;
+  }
+  std::fprintf(stdout, "PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace chameleon
+
+int main(int argc, char** argv) { return chameleon::Run(argc, argv); }

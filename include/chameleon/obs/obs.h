@@ -44,6 +44,12 @@ struct ObsOptions {
   /// Default throttle for ProgressHeartbeat instances that do not
   /// override it.
   std::uint64_t heartbeat_interval_nanos = 500'000'000;
+  /// Open per-thread hardware counter groups (perf_event_open) and
+  /// attribute deltas to spans. When the kernel refuses (paranoid,
+  /// seccomp, no PMU) or this is false, the run carries exactly one
+  /// hw_counters_unavailable record instead. CHAMELEON_HW_COUNTERS
+  /// overrides: off|0|false, emulate, perf, auto.
+  bool hw_counters = true;
 };
 
 /// Configures the global sink/tracer and flips the runtime switch.

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/sink.h"
 #include "chameleon/util/common.h"
 
@@ -42,6 +43,9 @@ namespace chameleon::obs {
 struct ParallelWorkerSample {
   std::uint64_t busy_ns = 0;  ///< time spent inside fn() across blocks
   std::uint64_t blocks = 0;   ///< blocks this worker claimed
+  /// Corrected hardware-counter delta over this worker's drain (invalid
+  /// when the hw engine is off or the worker's group failed to open).
+  HwCounterDelta hw;
 };
 
 /// A fully measured region, produced by ParallelForBlocks after join.
@@ -62,6 +66,9 @@ struct ParallelRegionStats {
   std::vector<ParallelWorkerSample> per_worker;  ///< size == workers
 
   std::uint64_t BusyTotalNanos() const;
+  /// Sum of valid per-worker hw deltas; zero-valued (valid=false) when
+  /// no worker carried counters.
+  HwCounterDelta HwTotals() const;
   /// Sum over workers of max(0, wall - busy): time sitting in the claim
   /// loop, waiting to start, or waiting for the join.
   std::uint64_t IdleTotalNanos() const;
@@ -128,6 +135,13 @@ struct ParallelRegionAggregate {
   std::uint64_t last_requested = 0;
   std::uint64_t last_workers = 0;
   double max_imbalance = 0.0;
+  /// Hardware-counter sums over all workers of all folded regions (zero
+  /// when the hw engine was off) — chameleon_scaling derives per-row IPC
+  /// and cache-miss-rate columns from these.
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_cache_references = 0;
+  std::uint64_t hw_cache_misses = 0;
 };
 
 /// Snapshot of the aggregate table, sorted by name. The /statusz

@@ -77,6 +77,22 @@
 ///    "wait_ns":..., "contended":..., "long_waits":...,
 ///    "total_wait_ns":...}  — one obs::TimedMutex wait that crossed the
 ///    long-wait threshold; counters are the mutex's lifetime totals
+///   {"type":"hw_counters", "t_ms":..., "path":..., "backend":...,
+///    "spans":N, "cycles":..., "instructions":..., "cache_refs":...,
+///    "cache_misses":..., "branch_misses":..., "stalled_backend":...,
+///    "task_clock_ns":..., "ipc":..., "cache_miss_rate":...,
+///    "branch_miss_rate":..., "class":...}  — per-span-path rollup of
+///    multiplexing-corrected perf counters (hw_counters.h), one record
+///    per path at run end; "class" is the toplev-lite bottleneck label,
+///    "backend" is "perf" or "emulated". Spans additionally carry
+///    cycles/instructions/.../ipc/cache_miss_rate/branch_miss_rate and
+///    "hw_scale" (the enabled/running correction factor) inline while
+///    the engine is live
+///   {"type":"hw_counters_unavailable", "t_ms":..., "reason":...}
+///    — written exactly once per run when counters could not be opened
+///    (perf_event_paranoid, seccomp, no PMU, or explicitly disabled);
+///    its presence means no record or span in the stream carries hw
+///    fields
 /// Writers format the line; sinks only append and are thread-safe.
 ///
 /// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/metrics.h"
 #include "chameleon/obs/sink.h"
 #include "chameleon/util/common.h"
@@ -145,6 +146,11 @@ class TraceSpan {
   std::uint64_t start_nanos_ = 0;
   std::uint64_t start_wall_millis_ = 0;
   ThreadResourceSample start_resources_;
+  // Hardware-counter snapshot at open; valid only while the hw engine
+  // is live (see hw_counters.h), in which case the close attributes the
+  // corrected delta to this span's record and path aggregate.
+  HwCounterSample start_hw_;
+  bool hw_valid_ = false;
   std::vector<std::pair<std::string, std::uint64_t>> counters_;
 };
 

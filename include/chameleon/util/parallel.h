@@ -24,12 +24,20 @@
 
 namespace chameleon {
 
-/// Resolves a requested worker count: values < 1 mean "use the hardware
-/// concurrency" (at least 1). Explicit requests pass through verbatim;
+/// Resolves a requested worker count: values < 1 mean "use the process
+/// default" — the hardware concurrency unless a tool narrowed it with
+/// SetDefaultThreads. Explicit requests pass through verbatim;
 /// ParallelForBlocks applies its own clamps (block count, real cores,
 /// minimum grain) on top, so callers can pass the user-facing --threads
 /// flag straight through.
 int EffectiveThreads(int requested);
+
+/// Sets the process-wide default worker count that EffectiveThreads
+/// resolves `requested < 1` to. Tools call this once after parsing
+/// --threads so library code that never sees the flag (e.g. the
+/// obfuscation verifier invoked deep inside an estimator) still honours
+/// it. Values < 1 restore the hardware-concurrency default.
+void SetDefaultThreads(int threads);
 
 /// Number of fixed-size blocks covering [0, n).
 inline std::size_t NumBlocks(std::size_t n, std::size_t block_size) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Generates a deterministic Erdos-Renyi uncertain-graph edge list.
+
+Usage: gen_er.py <out.edges> [--nodes=N] [--avg-degree=D] [--seed=S]
+           [--p-low=0.2] [--p-high=0.9]
+
+G(n, m) with m = n*D/2 distinct non-self-loop edges drawn from a seeded
+PRNG, each carrying an existence probability uniform in [p-low, p-high].
+The output is the "u v p" format graph/io.cc parses, with a "# nodes N"
+header so isolated vertices survive the round trip. Deterministic for a
+given flag set, so CI can regenerate the er-2k fixture instead of
+committing thousands of lines. Exits 0 on success, 2 on usage errors.
+"""
+import random
+import sys
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    opts = dict(
+        a.lstrip("-").split("=", 1) for a in sys.argv[1:] if a.startswith("--")
+    )
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path = args[0]
+    nodes = int(opts.pop("nodes", 2000))
+    avg_degree = float(opts.pop("avg-degree", 8))
+    seed = int(opts.pop("seed", 2018))
+    p_low = float(opts.pop("p-low", 0.2))
+    p_high = float(opts.pop("p-high", 0.9))
+    if opts:
+        print(f"unknown options: {sorted(opts)}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    target_edges = int(nodes * avg_degree / 2)
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < target_edges:
+        u = rng.randrange(nodes)
+        v = rng.randrange(nodes)
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+
+    with open(out_path, "w", encoding="utf-8") as out:
+        out.write(f"# nodes {nodes}\n")
+        for u, v in sorted(edges):
+            p = rng.uniform(p_low, p_high)
+            out.write(f"{u} {v} {p:.4f}\n")
+    print(f"{out_path}: {nodes} nodes, {len(edges)} edges, seed {seed}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

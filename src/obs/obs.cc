@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/parallel_stats.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
@@ -92,6 +93,25 @@ void FinalizeRun(int signal_number) {
   // parallel_region record per fork-join region still in flight, so a
   // killed scaling run keeps the region it died inside.
   if (signal_number >= 0) EmitInFlightParallelRegions(sink);
+
+  // Hardware-counter rollups flush on every exit path — clean or
+  // signal-ended — so a killed run keeps its per-path bottleneck data.
+  // Emit while the engine is still live (the record names its backend),
+  // then stop it.
+  if (HwCountersActive()) {
+    EmitHwCounterRecords(sink);
+    StopHwCounters();
+  } else {
+    // Counters never came up (paranoid kernel, seccomp, no PMU, or the
+    // env/flag override). One record names the reason; emitting it here
+    // rather than at init keeps the manifest as the stream's first
+    // record, and the one-shot enabled claim above keeps it unique.
+    sink->Write(StrFormat(
+        "{\"type\":\"hw_counters_unavailable\",\"t_ms\":%llu,"
+        "\"reason\":\"%s\"}",
+        static_cast<unsigned long long>(WallUnixMillis()),
+        JsonEscape(HwCountersUnavailableReason()).c_str()));
+  }
 
   const double wall_ms =
       static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
@@ -221,6 +241,12 @@ Status InitObservability(const ObsOptions& options) {
                                    std::memory_order_relaxed);
   InstallTerminationHooks();
   g_enabled.store(true, std::memory_order_release);
+
+  // Hardware counters ride along with the sink: live when the kernel
+  // allows it, otherwise FinalizeRun emits exactly one
+  // hw_counters_unavailable record explaining the absence of hw fields
+  // while every consumer carries on.
+  StartHwCounters(options.hw_counters);
   CH_LOG(Info) << "observability enabled, metrics sink: " << path;
   return Status::OK();
 }

@@ -48,6 +48,26 @@ std::uint64_t ParallelRegionStats::BusyTotalNanos() const {
   return total;
 }
 
+HwCounterDelta ParallelRegionStats::HwTotals() const {
+  HwCounterDelta total;
+  for (const ParallelWorkerSample& w : per_worker) {
+    if (!w.hw.valid) continue;
+    total.valid = true;
+    total.cycles += w.hw.cycles;
+    total.instructions += w.hw.instructions;
+    total.cache_references += w.hw.cache_references;
+    total.cache_misses += w.hw.cache_misses;
+    total.branch_misses += w.hw.branch_misses;
+    total.stalled_backend += w.hw.stalled_backend;
+    total.task_clock_ns += w.hw.task_clock_ns;
+    total.has_cache = total.has_cache || w.hw.has_cache;
+    total.has_branch = total.has_branch || w.hw.has_branch;
+    total.has_stalled = total.has_stalled || w.hw.has_stalled;
+    total.scale = std::max(total.scale, w.hw.scale);
+  }
+  return total;
+}
+
 std::uint64_t ParallelRegionStats::IdleTotalNanos() const {
   std::uint64_t total = 0;
   for (const ParallelWorkerSample& w : per_worker) {
@@ -131,10 +151,21 @@ std::string FormatParallelRegionRecord(const ParallelRegionStats& stats) {
   }
   line += StrFormat(
       "],\"busy_total_ns\":%llu,\"idle_total_ns\":%llu,"
-      "\"imbalance\":%.4f,\"speedup\":%.4f,\"efficiency\":%.4f}",
+      "\"imbalance\":%.4f,\"speedup\":%.4f,\"efficiency\":%.4f",
       static_cast<unsigned long long>(stats.BusyTotalNanos()),
       static_cast<unsigned long long>(stats.IdleTotalNanos()),
       stats.Imbalance(), stats.Speedup(), stats.Efficiency());
+  if (const HwCounterDelta hw = stats.HwTotals(); hw.valid) {
+    line += StrFormat(
+        ",\"cycles\":%llu,\"instructions\":%llu,\"cache_refs\":%llu,"
+        "\"cache_misses\":%llu,\"ipc\":%.4f,\"cache_miss_rate\":%.6f",
+        static_cast<unsigned long long>(hw.cycles),
+        static_cast<unsigned long long>(hw.instructions),
+        static_cast<unsigned long long>(hw.cache_references),
+        static_cast<unsigned long long>(hw.cache_misses), hw.Ipc(),
+        hw.CacheMissRate());
+  }
+  line += '}';
   return line;
 }
 
@@ -174,6 +205,12 @@ void RecordParallelRegion(const ParallelRegionStats& stats) {
     agg.last_requested = stats.requested;
     agg.last_workers = stats.workers;
     agg.max_imbalance = std::max(agg.max_imbalance, stats.Imbalance());
+    if (const HwCounterDelta hw = stats.HwTotals(); hw.valid) {
+      agg.hw_cycles += hw.cycles;
+      agg.hw_instructions += hw.instructions;
+      agg.hw_cache_references += hw.cache_references;
+      agg.hw_cache_misses += hw.cache_misses;
+    }
   }
 }
 

@@ -212,6 +212,7 @@ void TraceSpan::Open(std::string_view name, Tracer* tracer) {
   ProfilerRegisterCurrentThread();
   start_wall_millis_ = WallUnixMillis();
   start_resources_ = SampleThreadResources();
+  if (HwCountersActive()) hw_valid_ = SampleHwCounters(&start_hw_);
   start_nanos_ = MonotonicNanos();
   CHOBS_FLIGHT_EVENT(kSpanOpen, path_, path_id_, 0);
   tls_span_stack.push_back(StackEntry{tracer_, this});
@@ -246,6 +247,18 @@ TraceSpan::~TraceSpan() {
   if (tracer_->metrics() != nullptr) {
     tracer_->metrics()->Observe("span/" + StripPathIndices(path_), duration);
   }
+  // Close the hardware-counter interval first (before the resource
+  // sample and JSON work below pollute it), attribute it to the path
+  // aggregate, and keep it for the span record's hw fields.
+  HwCounterDelta hw;
+  if (hw_valid_ && HwCountersActive()) {
+    HwCounterSample end_hw;
+    if (SampleHwCounters(&end_hw)) {
+      hw = ComputeHwDelta(start_hw_, end_hw);
+      if (hw.valid) AccumulateHwPath(StripPathIndices(path_), hw);
+    }
+  }
+
   if (tracer_->sink() != nullptr) {
     const ThreadResourceSample end = SampleThreadResources();
     const auto delta = [](std::uint64_t lo, std::uint64_t hi) {
@@ -279,6 +292,22 @@ TraceSpan::~TraceSpan() {
             delta(start_resources_.allocs, end.allocs)),
         static_cast<unsigned long long>(
             delta(start_resources_.alloc_bytes, end.alloc_bytes)));
+    if (hw.valid) {
+      line += StrFormat(
+          ",\"cycles\":%llu,\"instructions\":%llu,\"cache_refs\":%llu,"
+          "\"cache_misses\":%llu,\"branch_misses\":%llu,"
+          "\"stalled_backend\":%llu,\"task_clock_ns\":%llu,"
+          "\"hw_scale\":%.4f,\"ipc\":%.4f,\"cache_miss_rate\":%.6f,"
+          "\"branch_miss_rate\":%.6f",
+          static_cast<unsigned long long>(hw.cycles),
+          static_cast<unsigned long long>(hw.instructions),
+          static_cast<unsigned long long>(hw.cache_references),
+          static_cast<unsigned long long>(hw.cache_misses),
+          static_cast<unsigned long long>(hw.branch_misses),
+          static_cast<unsigned long long>(hw.stalled_backend),
+          static_cast<unsigned long long>(hw.task_clock_ns), hw.scale,
+          hw.Ipc(), hw.CacheMissRate(), hw.BranchMissRate());
+    }
     if (!counters_.empty()) {
       line += ",\"counters\":{";
       bool first = true;

@@ -57,6 +57,13 @@ void RunInstrumented(
   std::atomic<std::size_t> cursor{0};
   const auto drain = [&](std::size_t worker) {
     obs::ParallelWorkerSample& sample = stats.per_worker[worker];
+    // Per-worker hardware counters: each thread owns its counter group
+    // (spawned workers lazily open theirs on first sample), so the
+    // region record can report per-thread-count IPC honestly instead of
+    // attributing worker cycles to the caller.
+    obs::HwCounterSample hw_open;
+    const bool hw_valid =
+        obs::HwCountersActive() && obs::SampleHwCounters(&hw_open);
     for (std::size_t block = cursor.fetch_add(1, std::memory_order_relaxed);
          block < blocks;
          block = cursor.fetch_add(1, std::memory_order_relaxed)) {
@@ -68,6 +75,12 @@ void RunInstrumented(
       sample.busy_ns += busy;
       ++sample.blocks;
       active.NoteBlockDone(busy);
+    }
+    if (hw_valid) {
+      obs::HwCounterSample hw_close;
+      if (obs::SampleHwCounters(&hw_close)) {
+        sample.hw = obs::ComputeHwDelta(hw_open, hw_close);
+      }
     }
   };
 
@@ -92,11 +105,21 @@ void RunInstrumented(
 }
 #endif  // CHAMELEON_OBS_ENABLED
 
+/// Process default for `threads < 1` requests; 0 = hardware concurrency.
+std::atomic<int> g_default_threads{0};
+
 }  // namespace
 
 int EffectiveThreads(int requested) {
   if (requested >= 1) return requested;
+  const int fallback = g_default_threads.load(std::memory_order_relaxed);
+  if (fallback >= 1) return fallback;
   return static_cast<int>(HardwareConcurrency());
+}
+
+void SetDefaultThreads(int threads) {
+  g_default_threads.store(threads < 1 ? 0 : threads,
+                          std::memory_order_relaxed);
 }
 
 void ParallelForBlocks(

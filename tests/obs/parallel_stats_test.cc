@@ -68,8 +68,8 @@ TEST(ParallelStatsTest, OutputBitIdenticalAcrossInstrumentationAndWorkers) {
 
 TEST(ParallelStatsTest, StatsHelpersComputeExpectedRatios) {
   ParallelRegionStats stats;
-  stats.per_worker = {{.busy_ns = 300, .blocks = 3},
-                      {.busy_ns = 100, .blocks = 1}};
+  stats.per_worker = {{.busy_ns = 300, .blocks = 3, .hw = {}},
+                      {.busy_ns = 100, .blocks = 1, .hw = {}}};
   stats.workers = 2;
   stats.wall_ns = 250;
   EXPECT_EQ(stats.BusyTotalNanos(), 400u);

@@ -79,6 +79,13 @@ std::string MixedStream() {
       "{\"type\":\"quantum_flux\",\"t_ms\":2,\"q\":1}\n"
       "{\"type\":\"quantum_flux\",\"t_ms\":3,\"q\":2}\n"
       "{\"type\":\"quantum_flux\",\"t_ms\":4,\"q\":3}\n"
+      "{\"type\":\"hw_counters\",\"t_ms\":4,\"path\":\"privacy/obf_check\","
+      "\"backend\":\"emulated\",\"spans\":2,\"cycles\":3000000,"
+      "\"instructions\":3750000,\"cache_refs\":234375,"
+      "\"cache_misses\":29296,\"branch_misses\":14648,"
+      "\"stalled_backend\":750000,\"task_clock_ns\":1000000,"
+      "\"ipc\":1.25,\"cache_miss_rate\":0.125,"
+      "\"branch_miss_rate\":0.003906,\"class\":\"balanced\"}\n"
       "{\"type\":\"run_summary\",\"t_ms\":5,\"wall_ms\":12.5}\n";
 }
 
@@ -94,6 +101,41 @@ TEST(ObsDumpForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
   EXPECT_NE(result.stdout_text.find("privacy checks:"), std::string::npos)
       << result.stdout_text;
   EXPECT_NE(result.stdout_text.find("VIOLATED"), std::string::npos);
+  // hw_counters is a known type: rendered (as the --hw hint), never in
+  // the unknown-type notes.
+  EXPECT_EQ(result.stderr_text.find("hw_counters"), std::string::npos)
+      << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("hw counters:"), std::string::npos)
+      << result.stdout_text;
+  std::remove(path.c_str());
+}
+
+TEST(ObsDumpForwardCompatTest, HwViewRendersBottleneckTable) {
+  const std::string path = WriteStream("fc_hw.jsonl", MixedStream());
+  const RunResult result =
+      RunCommand(std::string(OBS_DUMP_BIN) + " --hw " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("privacy/obf_check"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("balanced"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("emulated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsDumpForwardCompatTest, HwViewExplainsUnavailableCounters) {
+  const std::string path = WriteStream(
+      "fc_hw_unavail.jsonl",
+      "{\"type\":\"hw_counters_unavailable\",\"t_ms\":1,"
+      "\"reason\":\"perf_event_paranoid\"}\n"
+      "{\"type\":\"run_summary\",\"t_ms\":2,\"wall_ms\":1.0}\n");
+  const RunResult result =
+      RunCommand(std::string(OBS_DUMP_BIN) + " --hw " + path);
+  // No table to print is still an error exit, but the reason is relayed
+  // instead of the generic rerun hint.
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find("perf_event_paranoid"),
+            std::string::npos)
+      << result.stderr_text;
   std::remove(path.c_str());
 }
 
@@ -132,6 +174,13 @@ TEST(WatchForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
             std::string::npos)
       << result.stdout_text;
   EXPECT_NE(result.stdout_text.find("run finished"), std::string::npos);
+  // hw_counters renders as the one-line ipc/cache-miss note, not as an
+  // unknown type.
+  EXPECT_EQ(result.stderr_text.find("hw_counters"), std::string::npos)
+      << result.stderr_text;
+  EXPECT_NE(result.stdout_text.find("hw privacy/obf_check"),
+            std::string::npos)
+      << result.stdout_text;
   std::remove(path.c_str());
 }
 

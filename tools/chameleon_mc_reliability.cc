@@ -25,8 +25,10 @@
 #include "chameleon/reliability/reliability.h"
 #include "chameleon/util/flags.h"
 #include "chameleon/util/logging.h"
+#include "chameleon/util/parallel.h"
 #include "chameleon/util/rng.h"
 #include "chameleon/util/string_util.h"
+#include "chameleon/util/threads_flag.h"
 
 namespace chameleon {
 namespace {
@@ -74,6 +76,7 @@ int Run(int argc, char** argv) {
   flags.AddInt64("target", 1, "target terminal");
   flags.AddInt64("worlds", 1000, "max possible worlds per estimate");
   flags.AddInt64("seed", 2018, "random seed");
+  AddThreadsFlag(flags);
   flags.AddDouble("target_ci_halfwidth", 0.0,
                   "stop early once the 95% CI half-width reaches this "
                   "absolute value (0 = off)");
@@ -100,6 +103,10 @@ int Run(int argc, char** argv) {
                   "never abort)");
   flags.AddBool("connected_pairs", true,
                 "also estimate E[#connected pairs]");
+  flags.AddBool("hw_counters", true,
+                "attribute hardware counters (perf_event_open) to spans; "
+                "degrades to a hw_counters_unavailable note when the "
+                "kernel refuses");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -126,8 +133,15 @@ int Run(int argc, char** argv) {
                  s.ToString().c_str());
   }
 
+  // The Monte Carlo estimators themselves stay serial (one RNG stream,
+  // reproducible numerics); the shared --threads flag steers the
+  // parallel library paths they call into, via the process default.
+  const int threads = ResolvedThreads(flags);
+  SetDefaultThreads(threads);
+
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
+  obs_options.hw_counters = flags.GetBool("hw_counters");
   const std::int64_t statusz_port = flags.GetInt64("statusz_port");
   const std::string profile_out = flags.GetString("profile");
   const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
@@ -184,6 +198,7 @@ int Run(int argc, char** argv) {
   manifest.AddParam("graph", flags.GetString("graph").empty()
                                  ? "random"
                                  : flags.GetString("graph"));
+  manifest.AddParam("threads", StrFormat("%d", threads));
   obs::EmitRunManifest(manifest);
 
   Rng rng(static_cast<std::uint64_t>(flags.GetInt64("seed")));

@@ -21,6 +21,7 @@
 #include "chameleon/graph/io.h"
 #include "chameleon/graph/uncertain_graph.h"
 #include "chameleon/obs/obs.h"
+#include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
 #include "chameleon/obs/watchdog.h"
 #include "chameleon/privacy/obfuscation.h"
@@ -131,6 +132,14 @@ int Run(int argc, char** argv) {
                   "SIGABRT (-> crash forensics dump) once a stall persists "
                   "this many seconds past --watchdog_stall_seconds (0 = "
                   "never abort)");
+  flags.AddBool("hw_counters", true,
+                "attribute hardware counters (perf_event_open) to spans; "
+                "degrades to a hw_counters_unavailable note when the "
+                "kernel refuses");
+  flags.AddString("profile", "",
+                  "capture a whole-run sampling profile to this folded-"
+                  "stacks file");
+  flags.AddInt64("profile_hz", 99, "sampling frequency per CPU-second");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -192,6 +201,7 @@ int Run(int argc, char** argv) {
 
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
+  obs_options.hw_counters = flags.GetBool("hw_counters");
   const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
   if (obs_options.metrics_out.empty() && watchdog_stall > 0.0 &&
       std::getenv("CHAMELEON_METRICS") == nullptr) {
@@ -208,6 +218,17 @@ int Run(int argc, char** argv) {
         flags.GetDouble("watchdog_abort_after");
     if (Status s = obs::StartGlobalWatchdog(watchdog_options); !s.ok()) {
       std::fprintf(stderr, "warning: watchdog disabled: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (!flags.GetString("profile").empty()) {
+    obs::ProfilerOptions profiler_options;
+    profiler_options.hz = static_cast<int>(flags.GetInt64("profile_hz"));
+    profiler_options.folded_out = flags.GetString("profile");
+    if (Status s = obs::StartGlobalProfiler(profiler_options); !s.ok()) {
+      // An OBS=OFF build (or a non-Linux host) still runs the check,
+      // just without a profile.
+      std::fprintf(stderr, "warning: profiler disabled: %s\n",
                    s.ToString().c_str());
     }
   }

@@ -125,6 +125,25 @@ struct MutexWaitDumpAgg {
   double sum_wait_ns = 0.0;  ///< across the reported long waits
 };
 
+/// One "hw_counters" record: per-span-path hardware-counter totals with
+/// the derived rates and the toplev-lite bottleneck class.
+struct HwDumpRow {
+  std::string path;
+  std::string backend;  ///< "perf" | "emulated"
+  std::string cls;      ///< bottleneck label from the writer
+  double spans = 0.0;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double cache_refs = 0.0;
+  double cache_misses = 0.0;
+  double branch_misses = 0.0;
+  double stalled_backend = 0.0;
+  double task_clock_ns = 0.0;
+  double ipc = 0.0;
+  double cache_miss_rate = 0.0;
+  double branch_miss_rate = 0.0;
+};
+
 /// One "flight_event_dump" record: the per-thread flight-recorder rings
 /// dumped when a run dies on a signal.
 struct FlightDumpRow {
@@ -147,6 +166,9 @@ struct DumpResult {
   std::vector<FlightDumpRow> flight_dumps;
   std::map<std::string, ParallelRegionDumpAgg> parallel_regions;
   std::map<std::string, MutexWaitDumpAgg> mutex_waits;
+  std::vector<HwDumpRow> hw_rows;
+  /// Reasons from "hw_counters_unavailable" records (at most one per run).
+  std::vector<std::string> hw_unavailable;
   /// Distinct record types this build does not recognize (forward-compat
   /// passthrough: counted, mentioned once each on stderr, never fatal).
   std::map<std::string, std::size_t> unknown_types;
@@ -382,6 +404,34 @@ Result<DumpResult> Load(const std::string& path) {
       row.dropped = obs::JsonlNumberField(line, "dropped").value_or(0.0);
       ExtractStringArray(line, "\"tail\":[", &row.tail);
       out.flight_dumps.push_back(std::move(row));
+    } else if (*type == "hw_counters") {
+      HwDumpRow row;
+      row.path = obs::JsonlStringField(line, "path").value_or("?");
+      row.backend = obs::JsonlStringField(line, "backend").value_or("?");
+      row.cls = obs::JsonlStringField(line, "class").value_or("unknown");
+      row.spans = obs::JsonlNumberField(line, "spans").value_or(0.0);
+      row.cycles = obs::JsonlNumberField(line, "cycles").value_or(0.0);
+      row.instructions =
+          obs::JsonlNumberField(line, "instructions").value_or(0.0);
+      row.cache_refs =
+          obs::JsonlNumberField(line, "cache_refs").value_or(0.0);
+      row.cache_misses =
+          obs::JsonlNumberField(line, "cache_misses").value_or(0.0);
+      row.branch_misses =
+          obs::JsonlNumberField(line, "branch_misses").value_or(0.0);
+      row.stalled_backend =
+          obs::JsonlNumberField(line, "stalled_backend").value_or(0.0);
+      row.task_clock_ns =
+          obs::JsonlNumberField(line, "task_clock_ns").value_or(0.0);
+      row.ipc = obs::JsonlNumberField(line, "ipc").value_or(0.0);
+      row.cache_miss_rate =
+          obs::JsonlNumberField(line, "cache_miss_rate").value_or(0.0);
+      row.branch_miss_rate =
+          obs::JsonlNumberField(line, "branch_miss_rate").value_or(0.0);
+      out.hw_rows.push_back(std::move(row));
+    } else if (*type == "hw_counters_unavailable") {
+      out.hw_unavailable.push_back(
+          obs::JsonlStringField(line, "reason").value_or("?"));
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
       if (wall.has_value()) out.run_wall_ms = *wall;
@@ -655,6 +705,15 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                 last.samples, last.hz, last.duration_ms, last.dropped);
   }
 
+  if (!dump.hw_rows.empty()) {
+    std::printf("\nhw counters: %zu span path(s) via %s backend; rerun "
+                "with --hw for the bottleneck table\n",
+                dump.hw_rows.size(), dump.hw_rows.front().backend.c_str());
+  } else if (!dump.hw_unavailable.empty()) {
+    std::printf("\nhw counters unavailable: %s\n",
+                dump.hw_unavailable.front().c_str());
+  }
+
   if (!dump.summary_counters.empty()) {
     std::printf("\nrun summary counters:\n");
     std::size_t cwidth = 5;
@@ -720,6 +779,48 @@ int PrintFlame(const DumpResult& dump, std::int64_t top) {
   return 0;
 }
 
+/// The --hw view: the per-span-path hardware-counter table from the
+/// run's "hw_counters" records, hottest (most cycles) first, with the
+/// toplev-lite bottleneck class the writer assigned.
+int PrintHw(const DumpResult& dump, std::int64_t top) {
+  if (dump.hw_rows.empty()) {
+    if (!dump.hw_unavailable.empty()) {
+      std::fprintf(stderr, "hw counters unavailable: %s\n",
+                   dump.hw_unavailable.front().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "no hw_counters records found (rerun the tool with "
+                   "--hw_counters=true, or set CHAMELEON_HW_COUNTERS="
+                   "emulate where perf events are blocked)\n");
+    }
+    return 1;
+  }
+  std::vector<HwDumpRow> rows = dump.hw_rows;
+  std::sort(rows.begin(), rows.end(),
+            [](const HwDumpRow& a, const HwDumpRow& b) {
+              return a.cycles > b.cycles;
+            });
+  if (top > 0 && static_cast<std::size_t>(top) < rows.size()) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+  std::printf("hw counters (%s backend):\n", rows.front().backend.c_str());
+  std::size_t width = 9;
+  for (const HwDumpRow& row : rows) {
+    width = std::max(width, row.path.size());
+  }
+  std::printf("%-*s %8s %10s %10s %6s %10s %11s %s\n",
+              static_cast<int>(width), "span path", "spans", "cycles",
+              "instrs", "ipc", "cache miss", "branch miss", "class");
+  for (const HwDumpRow& row : rows) {
+    std::printf("%-*s %8.0f %10.3g %10.3g %6.2f %9.1f%% %10.2f%% %s\n",
+                static_cast<int>(width), row.path.c_str(), row.spans,
+                row.cycles, row.instructions, row.ipc,
+                100.0 * row.cache_miss_rate, 100.0 * row.branch_miss_rate,
+                row.cls.c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags(
       "chameleon_obs_dump: per-phase timing table from a metrics JSONL "
@@ -730,6 +831,9 @@ int Run(int argc, char** argv) {
   flags.AddBool("flame", false,
                 "print the per-span self-CPU sample table from the last "
                 "profiler capture instead of the timing report");
+  flags.AddBool("hw", false,
+                "print the per-span-path hardware-counter bottleneck "
+                "table instead of the timing report");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -765,6 +869,9 @@ int Run(int argc, char** argv) {
   }
   if (flags.GetBool("flame")) {
     return PrintFlame(*dump, flags.GetInt64("top"));
+  }
+  if (flags.GetBool("hw")) {
+    return PrintHw(*dump, flags.GetInt64("top"));
   }
   // Forward-compat: one debug note per distinct unrecognized type. A
   // stream written by a newer tool still dumps — whatever this build

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/parallel_stats.h"
 #include "chameleon/obs/run_context.h"
@@ -38,6 +39,7 @@
 #include "chameleon/util/parallel.h"
 #include "chameleon/util/rng.h"
 #include "chameleon/util/string_util.h"
+#include "chameleon/util/threads_flag.h"
 #include "chameleon/util/timer.h"
 
 namespace chameleon {
@@ -110,7 +112,48 @@ struct SweepRow {
   std::uint64_t idle_ns = 0;
   std::uint64_t overhead_ns = 0;
   double max_imbalance = 0.0;
+  /// Hardware-counter sums over this row's regions (0 = engine off).
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_cache_refs = 0;
+  std::uint64_t hw_cache_misses = 0;
+
+  bool HasHw() const { return hw_cycles > 0 && hw_instructions > 0; }
+  double Ipc() const {
+    return hw_cycles > 0 ? static_cast<double>(hw_instructions) /
+                               static_cast<double>(hw_cycles)
+                         : 0.0;
+  }
+  double CacheMissRate() const {
+    return hw_cache_refs > 0 ? static_cast<double>(hw_cache_misses) /
+                                   static_cast<double>(hw_cache_refs)
+                             : 0.0;
+  }
 };
+
+/// Bandwidth-saturation diagnosis over the sweep: IPC that degrades as
+/// efficiency drops means the extra workers stall on the memory system
+/// rather than queue on locks — more threads are re-dividing the same
+/// memory bandwidth. Verdicts: "bandwidth-saturated" when the widest
+/// row's efficiency fell under 0.75 while its IPC fell under 90% of the
+/// single-thread IPC; "no-saturation" when hw data exists but that
+/// pattern is absent; "unavailable" without counters on both endpoints.
+std::string BandwidthVerdict(const std::vector<SweepRow>& rows) {
+  const SweepRow* base = nullptr;
+  const SweepRow* widest = nullptr;
+  for (const SweepRow& row : rows) {
+    if (!row.HasHw()) continue;
+    if (row.threads == 1 && base == nullptr) base = &row;
+    if (widest == nullptr || row.threads > widest->threads) widest = &row;
+  }
+  if (base == nullptr || widest == nullptr || widest->threads <= 1) {
+    return "unavailable";
+  }
+  const bool ipc_degraded = widest->Ipc() < 0.9 * base->Ipc();
+  const bool efficiency_dropped = widest->efficiency < 0.75;
+  return ipc_degraded && efficiency_dropped ? "bandwidth-saturated"
+                                            : "no-saturation";
+}
 
 struct ScalingFit {
   double amdahl_serial_fraction = 0.0;  ///< mean of per-point estimates
@@ -182,7 +225,8 @@ std::string ScalingJson(const std::string& workload,
                         const graph::UncertainGraph& graph,
                         const FlagSet& flags,
                         const std::vector<SweepRow>& rows,
-                        const ScalingFit& fit) {
+                        const ScalingFit& fit,
+                        const std::string& bandwidth_verdict) {
   const obs::HostInfo host = obs::GetHostInfo();
   std::string json = StrFormat(
       "{\n"
@@ -208,7 +252,7 @@ std::string ScalingJson(const std::string& workload,
         "\"wall_ns_median\": %llu, \"wall_ns_min\": %llu, "
         "\"speedup\": %.4f, \"efficiency\": %.4f, \"regions\": %llu, "
         "\"busy_ns\": %llu, \"idle_ns\": %llu, \"overhead_ns\": %llu, "
-        "\"max_imbalance\": %.4f}%s\n",
+        "\"max_imbalance\": %.4f, \"ipc\": %s, \"cache_miss_rate\": %s}%s\n",
         row.threads, static_cast<unsigned long long>(row.workers),
         static_cast<unsigned long long>(row.reps),
         static_cast<unsigned long long>(row.wall_ns_median),
@@ -217,15 +261,18 @@ std::string ScalingJson(const std::string& workload,
         static_cast<unsigned long long>(row.busy_ns),
         static_cast<unsigned long long>(row.idle_ns),
         static_cast<unsigned long long>(row.overhead_ns), row.max_imbalance,
+        row.HasHw() ? StrFormat("%.4f", row.Ipc()).c_str() : "null",
+        row.HasHw() ? StrFormat("%.6f", row.CacheMissRate()).c_str() : "null",
         i + 1 < rows.size() ? "," : "");
   }
   json += StrFormat(
       "  ],\n"
+      "  \"bandwidth_verdict\": \"%s\",\n"
       "  \"fit\": {\"valid\": %s, \"amdahl_serial_fraction\": %.6f, "
       "\"usl_sigma\": %.6f, \"usl_kappa\": %.6f}\n"
       "}\n",
-      fit.valid ? "true" : "false", fit.amdahl_serial_fraction, fit.usl_sigma,
-      fit.usl_kappa);
+      JsonEscape(bandwidth_verdict).c_str(), fit.valid ? "true" : "false",
+      fit.amdahl_serial_fraction, fit.usl_sigma, fit.usl_kappa);
   return json;
 }
 
@@ -244,7 +291,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", 2018, "random seed (graph + MC worlds)");
   flags.AddString("threads_list", "",
                   "comma-separated worker counts to sweep (empty: powers of "
-                  "two up to the hardware concurrency)");
+                  "two up to --threads, or the hardware concurrency)");
+  AddThreadsFlag(flags);
   flags.AddInt64("reps", 5, "timed repetitions per worker count");
   flags.AddInt64("mc_worlds", 8192, "mc_reliability: worlds per rep");
   flags.AddDouble("k", 100.0, "obf_verify: privacy level");
@@ -252,6 +300,11 @@ int Run(int argc, char** argv) {
   flags.AddString("out", "", "write the chameleon-scaling-v1 JSON here");
   flags.AddString("metrics_out", "",
                   "JSONL metrics/trace sink (also: $CHAMELEON_METRICS)");
+  flags.AddBool("hw_counters", true,
+                "attribute hardware counters (perf_event_open) to workers "
+                "for per-row IPC / cache-miss-rate columns and the "
+                "bandwidth-saturation verdict; degrades to a "
+                "hw_counters_unavailable note when the kernel refuses");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -280,7 +333,9 @@ int Run(int argc, char** argv) {
   std::vector<int> thread_counts;
   const std::string& threads_list = flags.GetString("threads_list");
   if (threads_list.empty()) {
-    const int hw = EffectiveThreads(0);
+    // The shared --threads flag caps the default sweep (hardware
+    // concurrency when unset), same resolution as every other tool.
+    const int hw = ResolvedThreads(flags);
     for (int t = 1; t <= hw; t *= 2) thread_counts.push_back(t);
     if (thread_counts.back() != hw) thread_counts.push_back(hw);
   } else {
@@ -305,6 +360,7 @@ int Run(int argc, char** argv) {
   }
   obs::ObsOptions obs_options;
   obs_options.metrics_out = flags.GetString("metrics_out");
+  obs_options.hw_counters = flags.GetBool("hw_counters");
   if (Status s = obs::InitObservability(obs_options); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
@@ -320,6 +376,7 @@ int Run(int argc, char** argv) {
     }
     manifest.AddParam("threads_list", list);
   }
+  manifest.AddParam("threads", StrFormat("%d", ResolvedThreads(flags)));
   obs::EmitRunManifest(manifest);
 
   // Setup (graph build + per-workload precomputation) runs under its own
@@ -411,6 +468,10 @@ int Run(int argc, char** argv) {
       row.overhead_ns += agg.overhead_ns;
       row.workers = std::max(row.workers, agg.last_workers);
       row.max_imbalance = std::max(row.max_imbalance, agg.max_imbalance);
+      row.hw_cycles += agg.hw_cycles;
+      row.hw_instructions += agg.hw_instructions;
+      row.hw_cache_refs += agg.hw_cache_references;
+      row.hw_cache_misses += agg.hw_cache_misses;
     }
     if (row.workers == 0) row.workers = 1;  // obs disabled: no telemetry
     rows.push_back(row);
@@ -425,19 +486,28 @@ int Run(int argc, char** argv) {
     row.efficiency = row.speedup / static_cast<double>(row.threads);
   }
   const ScalingFit fit = FitScaling(rows);
+  const std::string bandwidth_verdict = BandwidthVerdict(rows);
 
   std::fprintf(stdout,
                "\n  threads  workers  wall(med)      speedup  eff     "
-               "regions  imbalance\n");
+               "regions  imbalance  ipc    cache_miss\n");
   for (const SweepRow& row : rows) {
     std::fprintf(stdout,
-                 "  %7d  %7llu  %9.3f ms  %6.2fx  %5.1f%%  %7llu  %9.2f\n",
+                 "  %7d  %7llu  %9.3f ms  %6.2fx  %5.1f%%  %7llu  %9.2f",
                  row.threads, static_cast<unsigned long long>(row.workers),
                  static_cast<double>(row.wall_ns_median) * 1e-6, row.speedup,
                  row.efficiency * 100.0,
                  static_cast<unsigned long long>(row.regions),
                  row.max_imbalance);
+    if (row.HasHw()) {
+      std::fprintf(stdout, "  %5.2f  %8.1f%%\n", row.Ipc(),
+                   row.CacheMissRate() * 100.0);
+    } else {
+      std::fprintf(stdout, "      -         -\n");
+    }
   }
+  std::fprintf(stdout, "\nbandwidth verdict: %s\n",
+               bandwidth_verdict.c_str());
   if (fit.valid) {
     std::fprintf(stdout,
                  "\nfit: Amdahl serial fraction %.3f; USL sigma=%.4f "
@@ -449,8 +519,9 @@ int Run(int argc, char** argv) {
 
   const std::string& out = flags.GetString("out");
   if (!out.empty()) {
-    if (Status s =
-            WriteTextFile(out, ScalingJson(workload, *graph, flags, rows, fit));
+    if (Status s = WriteTextFile(
+            out, ScalingJson(workload, *graph, flags, rows, fit,
+                             bandwidth_verdict));
         !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;

@@ -223,6 +223,24 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
         "(long wait #%.0f)\n",
         name.value_or("?").c_str(), wait_ns * 1e-6, long_waits);
   }
+  if (*type == "hw_counters") {
+    const auto path = obs::JsonlStringField(line, "path");
+    const auto cls = obs::JsonlStringField(line, "class");
+    const double ipc = obs::JsonlNumberField(line, "ipc").value_or(0.0);
+    const double cmr =
+        obs::JsonlNumberField(line, "cache_miss_rate").value_or(0.0);
+    const double spans =
+        obs::JsonlNumberField(line, "spans").value_or(0.0);
+    return StrFormat(
+        "hw %s: ipc %.2f, cache miss %.1f%% over %.0f spans [%s]\n",
+        path.value_or("?").c_str(), ipc, cmr * 100.0, spans,
+        cls.value_or("unknown").c_str());
+  }
+  if (*type == "hw_counters_unavailable") {
+    const auto reason = obs::JsonlStringField(line, "reason");
+    return StrFormat("hw counters unavailable: %s\n",
+                     reason.value_or("?").c_str());
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
@@ -259,7 +277,19 @@ int Watch(const std::string& path, bool once, std::int64_t interval_ms) {
   WatchState state;
   std::string line;
   for (;;) {
-    while (std::getline(in, line)) {
+    for (;;) {
+      // Remember where this line starts: if the file currently ends
+      // mid-line (the writer is between write() and the newline),
+      // getline would consume the fragment and the remainder appended
+      // before the next poll would parse as a separate garbage record.
+      // Rewind to the fragment start instead and re-read it whole.
+      const std::istream::pos_type line_start = in.tellg();
+      if (!std::getline(in, line)) break;
+      if (in.eof() && !once) {
+        in.clear();
+        in.seekg(line_start);
+        break;
+      }
       const std::string text = RenderRecord(line, &state);
       if (!text.empty()) {
         std::fputs(text.c_str(), stdout);
