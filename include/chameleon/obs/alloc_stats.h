@@ -4,14 +4,16 @@
 #include <cstdint>
 
 /// \file alloc_stats.h
-/// Per-thread heap-allocation counters. When CHAMELEON_OBS_ENABLED,
-/// alloc_stats.cc replaces the global operator new/delete with
-/// malloc-backed versions that bump two thread-local counters, so a
+/// Heap-allocation counters. When CHAMELEON_OBS_ENABLED, alloc_stats.cc
+/// replaces the global operator new/delete (every overload — plain,
+/// array, nothrow, sized, and the C++17 aligned std::align_val_t
+/// variants) with malloc-backed versions that bump per-thread counters
+/// and feed the sampling heap profiler (heap_profiler.h), so a
 /// TraceSpan can report how many allocations (and requested bytes) a
-/// phase performed on its thread. The counters are monotonically
-/// increasing; consumers diff two samples. With observability compiled
-/// out the replacement operators are not emitted and every sample reads
-/// zero.
+/// phase performed on its thread and run_summary can report the
+/// process-wide totals. The counters are monotonically increasing;
+/// consumers diff two samples. With observability compiled out the
+/// replacement operators are not emitted and every sample reads zero.
 
 namespace chameleon::obs {
 
@@ -25,8 +27,15 @@ struct AllocStats {
   std::uint64_t frees = 0;
 };
 
-/// Counters of the calling thread. Lock-free: plain thread-local reads.
+/// Counters of the calling thread. Lock-free: one thread-local pointer
+/// hop plus relaxed loads.
 AllocStats ThreadAllocStats();
+
+/// Process-wide totals: the sum over every thread that ever allocated,
+/// exited threads included. Lock-free walk of the (leaked) per-thread
+/// counter list; feeds run_summary's heap block and the heap profiler's
+/// exact-counter cross-check.
+AllocStats TotalAllocStats();
 
 }  // namespace chameleon::obs
 

@@ -31,7 +31,10 @@
 ///    "rate_per_s":...}  — plus "final":true,"stopped_early":bool on the
 ///    record written by ConvergenceTracker::Finish()
 ///   {"type":"run_summary", "t_ms":..., "wall_ms":..., "rusage":{..},
-///    "metrics":{..}}  — plus "signal":N when a fatal signal ended the run
+///    "heap":{"cum_alloc_bytes":..., "cum_allocs":..., "cum_frees":...,
+///    "peak_rss_kb":...}, "metrics":{..}}  — plus "signal":N when a
+///    fatal signal ended the run; "heap" holds the exact process-wide
+///    allocation totals from the counters, present in every run
 ///   {"type":"status_server", "t_ms":..., "address":..., "port":N}
 ///    — bound /statusz port, written at server start so scripts can
 ///    discover an ephemeral (--statusz_port=0) port from the stream
@@ -93,6 +96,28 @@
 ///    (perf_event_paranoid, seccomp, no PMU, or explicitly disabled);
 ///    its presence means no record or span in the stream carries hw
 ///    fields
+///   {"type":"heap_profile", "t_ms":..., "span_path":..., "samples":N,
+///    "cum_bytes":..., "cum_allocs":..., "live_bytes":...,
+///    "live_allocs":..., "peak_bytes":..., "leak_bytes":...,
+///    "allowlisted":bool, "sample_bytes":R, "scale":...,
+///    "frames":[..]}  — one sampled allocation site (heap_profiler.h):
+///    byte/count fields are the unbiased Poisson-sampling estimates,
+///    "leak_bytes" the live-at-exit delta, "allowlisted" whether it
+///    matched the intentional-leak list, "frames" the symbolized stack
+///    innermost first, "" span path rendered as (no_span)
+///   {"type":"heap_timeline", "t_ms":..., "sample_bytes":R,
+///    "duration_ms":..., "samples":N, "dropped":D, "sites":S,
+///    "est_cum_bytes":..., "est_cum_allocs":..., "est_live_bytes":...,
+///    "est_peak_bytes":..., "exact_cum_bytes":..., "exact_cum_allocs":...,
+///    "points":[{"mono_ns":..., "live_bytes":..., "cum_bytes":...,
+///    "cum_allocs":..., "rss_kb":...}, ..]}  — exactly one per heap
+///    capture: the process-wide memory trajectory (sampled live bytes,
+///    exact allocation counters, RSS), points taken at span closes and
+///    snapshots at the configured minimum spacing
+///   {"type":"heap_profiler_unavailable", "t_ms":..., "reason":...}
+///    — written exactly once when the run carries no heap capture (not
+///    requested, refused under a sanitizer, or stopped early); a stream
+///    never holds both this and heap_profile/heap_timeline records
 /// Writers format the line; sinks only append and are thread-safe.
 ///
 /// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"

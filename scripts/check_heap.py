@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validates heap-profiler records in a chameleon metrics JSONL.
+
+Usage: check_heap.py <metrics.jsonl> [--expect=available|unavailable|auto]
+
+The exactly-one-of contract: a run holds either a heap capture (>= 1
+"heap_profile" site record plus exactly one "heap_timeline" summary) or
+exactly one "heap_profiler_unavailable" record (graceful degradation) —
+never both, never neither. --expect=available / --expect=unavailable
+pins which side CI demands; auto (the default) accepts either side but
+still enforces the contract.
+
+Every heap_profile record must carry the full schema: a span_path, a
+positive sample_bytes, at least one sample, non-negative byte and
+allocation counters with live <= peak, a positive estimator scale, and
+a frames array. The heap_timeline record's sampled-estimator cumulative
+bytes must agree with the exact per-thread counters within a factor of
+two — the statistical guarantee the sampling math promises at the
+default rate. The run_summary's process-wide "heap" block (exact
+totals) is validated whenever present.
+
+Exits 0 on success, 1 on a validation failure, 2 on usage errors.
+"""
+import json
+import sys
+
+SITE_COUNTERS = (
+    "samples",
+    "cum_bytes",
+    "cum_allocs",
+    "live_bytes",
+    "live_allocs",
+    "peak_bytes",
+    "leak_bytes",
+)
+TIMELINE_COUNTERS = (
+    "sample_bytes",
+    "samples",
+    "dropped",
+    "sites",
+    "est_cum_bytes",
+    "est_cum_allocs",
+    "est_live_bytes",
+    "est_peak_bytes",
+    "exact_cum_bytes",
+    "exact_cum_allocs",
+)
+
+
+def fail(message: str) -> int:
+    print(message, file=sys.stderr)
+    return 1
+
+
+def check_site(path: str, lineno: int, obj: dict) -> str | None:
+    """Returns a diagnostic for a malformed heap_profile record, or None."""
+    where = f"{path}:{lineno}"
+    if not obj.get("span_path"):
+        return f"{where}: heap_profile record without a span_path"
+    for field in SITE_COUNTERS:
+        value = obj.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            return f"{where}: {field}={value!r} is not a non-negative " \
+                   f"number"
+    if obj["samples"] < 1:
+        return f"{where}: site with zero samples was emitted"
+    if not isinstance(obj.get("sample_bytes"), (int, float)) or \
+            obj["sample_bytes"] <= 0:
+        return f"{where}: sample_bytes={obj.get('sample_bytes')!r} is " \
+               f"not positive"
+    if obj["live_bytes"] > obj["peak_bytes"]:
+        return f"{where}: live_bytes {obj['live_bytes']} exceeds " \
+               f"peak_bytes {obj['peak_bytes']}"
+    scale = obj.get("scale")
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        return f"{where}: estimator scale={scale!r} is not positive"
+    frames = obj.get("frames")
+    if not isinstance(frames, list) or \
+            any(not isinstance(f, str) for f in frames):
+        return f"{where}: frames is not an array of strings"
+    if not isinstance(obj.get("allowlisted"), bool):
+        return f"{where}: allowlisted is not a boolean"
+    return None
+
+
+def check_timeline(path: str, lineno: int, obj: dict) -> str | None:
+    where = f"{path}:{lineno}"
+    for field in TIMELINE_COUNTERS:
+        value = obj.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            return f"{where}: {field}={value!r} is not a non-negative " \
+                   f"number"
+    if obj["sample_bytes"] <= 0:
+        return f"{where}: sample_bytes must be positive"
+    points = obj.get("points")
+    if not isinstance(points, list) or not points:
+        return f"{where}: timeline without points"
+    last_ns = -1
+    for i, point in enumerate(points):
+        for key in ("mono_ns", "live_bytes", "cum_bytes", "cum_allocs",
+                    "rss_kb"):
+            value = point.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                return f"{where}: point {i} {key}={value!r} is not a " \
+                       f"non-negative number"
+        if point["mono_ns"] < last_ns:
+            return f"{where}: point {i} mono_ns went backwards"
+        last_ns = point["mono_ns"]
+    # The statistical contract: at any sane rate the byte-weighted
+    # estimator lands within 2x of the exact allocation counters. (The
+    # estimator only sees sampled sites, so a run that allocates less
+    # than ~one sampling interval is exempt — nothing fired.)
+    exact = obj["exact_cum_bytes"]
+    est = obj["est_cum_bytes"]
+    if obj["samples"] >= 16 and exact > 0:
+        if not exact / 2 <= est <= exact * 2:
+            return f"{where}: est_cum_bytes {est} outside 2x of " \
+                   f"exact_cum_bytes {exact} " \
+                   f"(ratio {est / exact:.3f} with {obj['samples']} " \
+                   f"samples)"
+    return None
+
+
+def check_summary_heap(path: str, lineno: int, obj: dict) -> str | None:
+    heap = obj.get("heap")
+    if heap is None:
+        return f"{path}:{lineno}: run_summary without a heap block"
+    for field in ("cum_alloc_bytes", "cum_allocs", "cum_frees",
+                  "peak_rss_kb"):
+        value = heap.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            return f"{path}:{lineno}: run_summary heap.{field}=" \
+                   f"{value!r} is not a non-negative number"
+    return None
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    opts = [a for a in sys.argv[1:] if a.startswith("--")]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = args[0]
+    expect = "auto"
+    for opt in opts:
+        if opt.startswith("--expect="):
+            expect = opt.split("=", 1)[1]
+            if expect not in ("available", "unavailable", "auto"):
+                print(__doc__, file=sys.stderr)
+                return 2
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+
+    sites = []
+    timelines = []
+    unavailable = []
+    summary_diag = None
+    summary_seen = False
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                return fail(f"{path}:{lineno}: invalid JSON: {err}")
+            kind = obj.get("type")
+            if kind == "heap_profile":
+                diag = check_site(path, lineno, obj)
+                if diag is not None:
+                    return fail(diag)
+                sites.append(obj)
+            elif kind == "heap_timeline":
+                diag = check_timeline(path, lineno, obj)
+                if diag is not None:
+                    return fail(diag)
+                timelines.append(obj)
+            elif kind == "heap_profiler_unavailable":
+                if not obj.get("reason"):
+                    return fail(f"{path}:{lineno}: unavailable record "
+                                f"without a reason")
+                unavailable.append(obj)
+            elif kind == "run_summary":
+                summary_seen = True
+                summary_diag = check_summary_heap(path, lineno, obj)
+
+    # The exactly-one-of contract.
+    captured = bool(sites or timelines)
+    if captured and unavailable:
+        return fail(f"{path}: both a heap capture ({len(sites)} sites) "
+                    f"and heap_profiler_unavailable "
+                    f"({len(unavailable)}) present")
+    if captured and len(timelines) != 1:
+        return fail(f"{path}: {len(timelines)} heap_timeline records "
+                    f"(want exactly 1 per capture)")
+    if not captured and len(unavailable) != 1:
+        return fail(f"{path}: no heap capture and {len(unavailable)} "
+                    f"heap_profiler_unavailable records (want exactly 1)")
+    if expect == "available" and not captured:
+        return fail(f"{path}: expected a heap capture, got unavailable "
+                    f"({unavailable[0].get('reason')})")
+    if expect == "unavailable" and captured:
+        return fail(f"{path}: expected unavailable fallback, got "
+                    f"{len(sites)} heap_profile records")
+    if summary_seen and summary_diag is not None:
+        return fail(summary_diag)
+
+    if captured:
+        timeline = timelines[0]
+        spanful = sum(1 for s in sites
+                      if s["span_path"] not in ("", "(no_span)"))
+        print(f"{path}: {len(sites)} heap_profile sites ({spanful} with "
+              f"a span path), {timeline['samples']:.0f} samples, "
+              f"est cum {timeline['est_cum_bytes'] / 1048576.0:.2f} MiB "
+              f"vs exact {timeline['exact_cum_bytes'] / 1048576.0:.2f} "
+              f"MiB")
+        if timeline["samples"] > 0 and not sites:
+            return fail(f"{path}: timeline has samples but no site "
+                        f"records")
+    else:
+        print(f"{path}: heap profiler unavailable "
+              f"({unavailable[0].get('reason')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

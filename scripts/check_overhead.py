@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Runs every observability overhead gate from one declarative table.
+
+Usage: check_overhead.py [--bindir=build/bench] [--only=NAME[,NAME...]]
+           [--list]
+
+Replaces the six hand-maintained CI steps (one per micro_*_overhead
+binary) with a single budget table. Two binary styles:
+
+  harness   self-contained median/MAD benches (micro_profiler_overhead
+            and friends). Each applies the dual gate internally — a
+            violation needs the relative budget exceeded AND the delta
+            above 3x the repetition MAD — and exits nonzero on failure.
+            Budgets are passed as flags from the table; each writes a
+            BENCH_<name>.ci.json suite for the artifact upload and the
+            bench_diff baselines.
+  gbench    google-benchmark binaries (micro_obs_overhead,
+            micro_convergence_overhead), present only when the optional
+            benchmark dep was fetched. Run with a fixed min-time and
+            repetition count; a missing binary is a SKIP, not a failure,
+            because the dep is optional by design.
+
+Exits 0 when every present gate passes, 1 when any gate fails, 2 on
+usage errors. A gate binary that is missing but required (harness
+style — always built) is a failure: silently skipping it would read as
+"budget enforced" when it was not.
+"""
+import os
+import subprocess
+import sys
+
+# The budget table. kind: "harness" binaries are always built and gate
+# hard; "gbench" binaries exist only with -DCHAMELEON_BUILD_BENCHMARKS=ON
+# and the benchmark dep present, so absence is a SKIP.
+GATES = [
+    {
+        "name": "obs_dormant",
+        "binary": "micro_obs_overhead",
+        "kind": "gbench",
+        "note": "raw sampling loop vs instrumented WorldSampler, obs off",
+    },
+    {
+        "name": "convergence_tracker",
+        "binary": "micro_convergence_overhead",
+        "kind": "gbench",
+        "note": "raw Welford vs tracked estimator (advisory companion "
+                "to the in-suite BM_McTwoTerminalTracked diff)",
+    },
+    {
+        "name": "profiler",
+        "binary": "micro_profiler_overhead",
+        "kind": "harness",
+        "args": ["--budget=0.03"],
+        "out": "BENCH_profiler.ci.json",
+        "note": "sampling profiler on vs off at 99 Hz, <3%",
+    },
+    {
+        "name": "flight",
+        "binary": "micro_flight_overhead",
+        "kind": "harness",
+        "args": ["--budget=0.02"],
+        "out": "BENCH_flight.ci.json",
+        "note": "dormant CHOBS_FLIGHT_EVENT per iteration, <2%",
+    },
+    {
+        "name": "parallel",
+        "binary": "micro_parallel_overhead",
+        "kind": "harness",
+        "args": ["--budget=0.02"],
+        "out": "BENCH_parallel.ci.json",
+        "note": "dormant ParallelForBlocks telemetry vs bare replica, <2%",
+    },
+    {
+        "name": "hw",
+        "binary": "micro_hw_overhead",
+        "kind": "harness",
+        "args": ["--budget=0.02"],
+        "out": "BENCH_hw.ci.json",
+        "note": "dormant hw-counter span per iteration, <2%",
+    },
+    {
+        "name": "heap",
+        "binary": "micro_heap_overhead",
+        "kind": "harness",
+        "args": ["--budget=0.02", "--active_budget=0.05"],
+        "out": "BENCH_heap.ci.json",
+        "note": "operator new/delete hook dormant <2%, sampling at the "
+                "default rate <5%",
+    },
+]
+
+GBENCH_ARGS = ["--benchmark_min_time=0.2", "--benchmark_repetitions=3"]
+
+
+def main() -> int:
+    bindir = "build/bench"
+    only = None
+    list_only = False
+    for opt in sys.argv[1:]:
+        if opt.startswith("--bindir="):
+            bindir = opt.split("=", 1)[1]
+        elif opt.startswith("--only="):
+            only = set(opt.split("=", 1)[1].split(","))
+        elif opt == "--list":
+            list_only = True
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if only is not None:
+        unknown = only - {gate["name"] for gate in GATES}
+        if unknown:
+            print(f"unknown gate(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    if list_only:
+        for gate in GATES:
+            print(f"{gate['name']:20s} [{gate['kind']:7s}] "
+                  f"{gate['binary']}: {gate['note']}")
+        return 0
+
+    failures = []
+    for gate in GATES:
+        if only is not None and gate["name"] not in only:
+            continue
+        binary = os.path.join(bindir, gate["binary"])
+        header = f"=== {gate['name']}: {gate['note']}"
+        print(header, flush=True)
+        if not os.path.exists(binary):
+            if gate["kind"] == "gbench":
+                print(f"SKIP: {binary} not built (optional benchmark "
+                      f"dep absent)", flush=True)
+                continue
+            print(f"FAIL: required gate binary {binary} is missing",
+                  file=sys.stderr)
+            failures.append(gate["name"])
+            continue
+        cmd = [binary]
+        if gate["kind"] == "gbench":
+            cmd += GBENCH_ARGS
+        else:
+            cmd += gate.get("args", [])
+            if "out" in gate:
+                cmd.append(f"--out={gate['out']}")
+        result = subprocess.run(cmd, check=False)
+        if result.returncode != 0:
+            print(f"FAIL: {' '.join(cmd)} exited {result.returncode}",
+                  file=sys.stderr)
+            failures.append(gate["name"])
+        print(flush=True)
+
+    if failures:
+        print(f"overhead gates FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("all overhead gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

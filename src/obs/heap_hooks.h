@@ -1,0 +1,47 @@
+#ifndef CHAMELEON_SRC_OBS_HEAP_HOOKS_H_
+#define CHAMELEON_SRC_OBS_HEAP_HOOKS_H_
+
+// Allocation-hook fast path shared between the replacement operator
+// new/delete (alloc_stats.cc) and the heap profiler. src/obs-private —
+// the hooks must inline into the operators so the dormant cost is one
+// relaxed load, not a cross-TU call per allocation.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace chameleon::obs::internal {
+
+/// Nonzero while the sampler accepts allocations. The operators check
+/// it before anything else; StartHeapProfiler flips it last.
+extern std::atomic<std::uint32_t> g_heap_sampling_active;
+
+/// Bytes left until this thread's next sample. Signed so one oversized
+/// allocation can push it below zero; trivially initialized (0 forces
+/// the first active-path hit onto the slow path, which seeds the
+/// exponential countdown before deciding whether to sample).
+extern thread_local std::int64_t tls_heap_countdown;
+
+/// Records one sampled allocation and refills the countdown. Never
+/// samples recursively: the sampler's own allocations only refill.
+void HeapSampleSlow(void* ptr, std::size_t size) noexcept;
+
+/// Removes `ptr` from the live map (if sampled) and credits its site.
+void HeapFreeSlow(void* ptr) noexcept;
+
+inline void HeapHookAlloc(void* ptr, std::size_t size) noexcept {
+  if (g_heap_sampling_active.load(std::memory_order_relaxed) == 0) return;
+  if (ptr == nullptr) return;
+  tls_heap_countdown -= static_cast<std::int64_t>(size);
+  if (tls_heap_countdown < 0) HeapSampleSlow(ptr, size);
+}
+
+inline void HeapHookFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  if (g_heap_sampling_active.load(std::memory_order_relaxed) == 0) return;
+  HeapFreeSlow(ptr);
+}
+
+}  // namespace chameleon::obs::internal
+
+#endif  // CHAMELEON_SRC_OBS_HEAP_HOOKS_H_

@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "chameleon/obs/alloc_stats.h"
 #include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/heap_profiler.h"
 #include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/parallel_stats.h"
 #include "chameleon/obs/profiler.h"
@@ -113,6 +115,26 @@ void FinalizeRun(int signal_number) {
         JsonEscape(HwCountersUnavailableReason()).c_str()));
   }
 
+  // The heap profiler follows the same exactly-one-of contract: a live
+  // sampler flushes its heap_profile/heap_timeline records (then stops,
+  // so the folded file is written); otherwise one record names why the
+  // stream carries no heap data — not requested, refused under a
+  // sanitizer, or stopped early (in which case HeapRecordsEmitted()
+  // suppresses the unavailable record so the two never coexist).
+  if (HeapProfilerActive()) {
+    EmitHeapProfileRecords(sink);
+    if (Result<HeapProfileReport> heap = StopHeapProfiler(); !heap.ok()) {
+      CH_LOG(Warning) << "heap profiler flush failed: "
+                      << heap.status().ToString();
+    }
+  } else if (!HeapRecordsEmitted()) {
+    sink->Write(StrFormat(
+        "{\"type\":\"heap_profiler_unavailable\",\"t_ms\":%llu,"
+        "\"reason\":\"%s\"}",
+        static_cast<unsigned long long>(WallUnixMillis()),
+        JsonEscape(HeapProfilerUnavailableReason()).c_str()));
+  }
+
   const double wall_ms =
       static_cast<double>(MonotonicNanos() - run_start) * 1e-6;
   const ProcessUsage usage = GetProcessUsage();
@@ -130,6 +152,17 @@ void FinalizeRun(int signal_number) {
       static_cast<unsigned long long>(usage.max_rss_kb),
       static_cast<unsigned long long>(usage.minor_faults),
       static_cast<unsigned long long>(usage.major_faults));
+  // The run's memory headline, without summing per-span records:
+  // process-wide allocation totals (every thread, exited ones included)
+  // plus the peak RSS already sampled above.
+  const AllocStats heap_totals = TotalAllocStats();
+  line += StrFormat(
+      ",\"heap\":{\"cum_alloc_bytes\":%llu,\"cum_allocs\":%llu,"
+      "\"cum_frees\":%llu,\"peak_rss_kb\":%llu}",
+      static_cast<unsigned long long>(heap_totals.alloc_bytes),
+      static_cast<unsigned long long>(heap_totals.allocs),
+      static_cast<unsigned long long>(heap_totals.frees),
+      static_cast<unsigned long long>(usage.max_rss_kb));
   line += StrFormat(",\"metrics\":%s}", snapshot.ToJson().c_str());
   sink->Write(line);
   sink->Flush();
@@ -257,6 +290,9 @@ void FinalizeRunForSignal(int signal_number) { FinalizeRun(signal_number); }
 
 void EmitSnapshot(std::string_view label) {
   if (!Enabled()) return;
+  // Phase boundaries double as heap-timeline ticks, so even a run with
+  // sparse spans gets memory points at every snapshot.
+  HeapProfilerMaybeSampleTimeline();
   RecordSink* sink = GlobalSink();
   if (sink == nullptr) return;
   const MetricsSnapshot snapshot = GlobalMetrics().TakeSnapshot();

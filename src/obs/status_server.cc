@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "chameleon/obs/convergence.h"
+#include "chameleon/obs/heap_profiler.h"
 #include "chameleon/obs/hw_counters.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/parallel_stats.h"
@@ -185,6 +186,36 @@ std::string StatuszText() {
           agg.BranchMissRate() * 100.0, static_cast<double>(agg.cycles),
           HwBottleneckName(ClassifyHwBottleneck(agg)));
     }
+  }
+
+  text += "\nheap:\n";
+  if (!HeapProfilerActive()) {
+    const std::string reason = HeapProfilerUnavailableReason();
+    text += reason.empty() ? "  (inactive)\n"
+                           : StrFormat("  (unavailable: %s)\n",
+                                       reason.c_str());
+  } else {
+    const HeapProfileReport heap = SnapshotHeapProfile(/*symbolize=*/false);
+    text += StrFormat(
+        "  samples=%llu dropped=%llu est_live=%llu b est_peak=%llu b "
+        "est_cum=%llu b (exact %llu b / %llu allocs)\n",
+        static_cast<unsigned long long>(heap.samples),
+        static_cast<unsigned long long>(heap.dropped),
+        static_cast<unsigned long long>(heap.est_live_bytes),
+        static_cast<unsigned long long>(heap.est_peak_bytes),
+        static_cast<unsigned long long>(heap.est_cum_bytes),
+        static_cast<unsigned long long>(heap.exact_cum_bytes),
+        static_cast<unsigned long long>(heap.exact_cum_allocs));
+    std::size_t shown = 0;
+    for (const HeapSiteReport& site : heap.sites) {
+      if (shown++ >= 5) break;
+      text += StrFormat("  %s: cum=%llu b live=%llu b peak=%llu b\n",
+                        site.span_path.c_str(),
+                        static_cast<unsigned long long>(site.cum_bytes),
+                        static_cast<unsigned long long>(site.live_bytes),
+                        static_cast<unsigned long long>(site.peak_bytes));
+    }
+    if (heap.sites.empty()) text += "  (no samples yet)\n";
   }
   return text;
 }
@@ -371,6 +402,7 @@ void StatusServer::HandleConnection(int client_fd) {
     body = StatuszText();
   } else if (path == "/metricsz") {
     PublishConvergenceGauges();
+    PublishHeapGauges();
     body = PrometheusMetricsText(GlobalMetrics().TakeSnapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/profilez") {
@@ -388,6 +420,19 @@ void StatusServer::HandleConnection(int client_fd) {
       code = 503;
       body = "profile capture failed: " + folded.status().ToString() + "\n";
     }
+  } else if (path == "/heapz") {
+    // Bounded heap capture mirroring /profilez: when a whole-run
+    // --heap_profile capture is already running this folds its live
+    // aggregate; otherwise it starts the sampler at the default rate,
+    // sleeps, and stops it (seconds clamped to [0.05, 30]).
+    const double seconds = QueryParam(query, "seconds", 1.0);
+    Result<std::string> folded = CaptureHeapFolded(seconds);
+    if (folded.ok()) {
+      body = *std::move(folded);
+    } else {
+      code = 503;
+      body = "heap capture failed: " + folded.status().ToString() + "\n";
+    }
   } else if (path == "/healthz") {
     // Per-phase liveness from the watchdog's view of span + flight-
     // recorder activity; 503 lets a plain HTTP prober (load balancer,
@@ -397,8 +442,8 @@ void StatusServer::HandleConnection(int client_fd) {
   } else {
     code = 404;
     body =
-        "not found; try /statusz, /metricsz, /healthz, or "
-        "/profilez?seconds=N\n";
+        "not found; try /statusz, /metricsz, /healthz, "
+        "/profilez?seconds=N, or /heapz?seconds=N\n";
   }
 
   const char* reason = code == 200   ? "OK"

@@ -10,6 +10,7 @@
 
 #include "chameleon/obs/alloc_stats.h"
 #include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/heap_profiler.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/util/logging.h"
@@ -247,6 +248,9 @@ TraceSpan::~TraceSpan() {
   if (tracer_->metrics() != nullptr) {
     tracer_->metrics()->Observe("span/" + StripPathIndices(path_), duration);
   }
+  // Span boundaries drive the heap timeline (no dedicated timer
+  // thread); one relaxed load + compare when it is not yet time.
+  HeapProfilerMaybeSampleTimeline();
   // Close the hardware-counter interval first (before the resource
   // sample and JSON work below pollute it), attribute it to the path
   // aggregate, and keep it for the span record's hw fields.

@@ -1,4 +1,6 @@
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +43,48 @@ TEST(ThreadResourceTest, AllocationCountersTrackOperatorNew) {
   EXPECT_GT(after.allocs, before.allocs);
   EXPECT_GE(after.alloc_bytes - before.alloc_bytes, 1024 * sizeof(std::uint64_t));
   EXPECT_GT(after.frees, before.frees);
+}
+
+TEST(ThreadResourceTest, OverAlignedAllocationsRouteThroughTheCounters) {
+  // The C++17 aligned-new overloads must deliver the requested
+  // alignment AND feed the same per-thread counters as plain new —
+  // they are the path the heap sampler sees for over-aligned types.
+  struct alignas(64) CacheLine {
+    std::uint64_t words[8];
+  };
+  struct alignas(256) Page {
+    std::uint64_t words[32];
+  };
+
+  const AllocStats before = ThreadAllocStats();
+  auto* line = new CacheLine();
+  line->words[0] = 1;
+  auto* page = new Page[3];
+  page[2].words[0] = 2;
+  void* raw =
+      ::operator new(512, static_cast<std::align_val_t>(128));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(line) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(page) % 256, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(raw) % 128, 0u);
+  ::operator delete(raw, static_cast<std::align_val_t>(128));
+  delete[] page;
+  delete line;
+  const AllocStats after = ThreadAllocStats();
+  EXPECT_GE(after.allocs - before.allocs, 3u);
+  EXPECT_GE(after.frees - before.frees, 3u);
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes,
+            sizeof(CacheLine) + 3 * sizeof(Page) + 512);
+}
+
+TEST(ThreadResourceTest, NothrowAndSizedDeleteRouteThroughTheCounters) {
+  const AllocStats before = ThreadAllocStats();
+  void* block = ::operator new(2048, std::nothrow);
+  ASSERT_NE(block, nullptr);
+  ::operator delete(block, static_cast<std::size_t>(2048));
+  const AllocStats after = ThreadAllocStats();
+  EXPECT_GE(after.allocs - before.allocs, 1u);
+  EXPECT_GE(after.frees - before.frees, 1u);
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes, 2048u);
 }
 
 TEST(ThreadResourceTest, AllocationCountersAreThreadLocal) {

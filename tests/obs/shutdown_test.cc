@@ -121,6 +121,21 @@ TEST(ShutdownTest, ExitWithoutShutdownWritesSummaryViaAtexit) {
   EXPECT_TRUE(JsonlNumberField(summary, "wall_ms").has_value());
   // Process rusage rides along in the summary.
   EXPECT_TRUE(JsonlNumberField(summary, "max_rss_kb").has_value());
+
+  // So does the process-wide heap block: exact allocation totals plus
+  // the peak RSS, present in every build config.
+  EXPECT_NE(summary.find("\"heap\":{"), std::string::npos) << summary;
+  ASSERT_TRUE(JsonlNumberField(summary, "cum_alloc_bytes").has_value());
+  ASSERT_TRUE(JsonlNumberField(summary, "cum_allocs").has_value());
+  ASSERT_TRUE(JsonlNumberField(summary, "cum_frees").has_value());
+  ASSERT_TRUE(JsonlNumberField(summary, "peak_rss_kb").has_value());
+  EXPECT_GT(*JsonlNumberField(summary, "peak_rss_kb"), 0.0);
+#if CHAMELEON_OBS_ENABLED
+  // With the replacement operators compiled in, the child's startup
+  // alone allocates: the totals cannot read zero.
+  EXPECT_GT(*JsonlNumberField(summary, "cum_alloc_bytes"), 0.0);
+  EXPECT_GT(*JsonlNumberField(summary, "cum_allocs"), 0.0);
+#endif
 }
 
 TEST(ShutdownTest, ExplicitShutdownWritesExactlyOneSummary) {

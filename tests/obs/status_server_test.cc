@@ -151,7 +151,10 @@ TEST(StatusServerTest, UnknownPathIs404) {
   ASSERT_TRUE(server.ok());
   const std::string response = HttpGet((*server)->port(), "/nope");
   EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos);
-  EXPECT_NE(response.find("try /statusz, /metricsz, /healthz, or /profilez"), std::string::npos);
+  EXPECT_NE(response.find(
+                "try /statusz, /metricsz, /healthz, /profilez?seconds=N, or "
+                "/heapz?seconds=N"),
+            std::string::npos);
 }
 
 TEST(StatusServerTest, GlobalServerRestartAndStop) {

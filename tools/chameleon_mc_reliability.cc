@@ -17,6 +17,7 @@
 
 #include "chameleon/graph/io.h"
 #include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/heap_profiler.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
@@ -94,6 +95,14 @@ int Run(int argc, char** argv) {
                   "sample CPU for the whole run and write folded collapsed "
                   "stacks (flamegraph.pl input) to this path");
   flags.AddInt64("profile_hz", 99, "sampling frequency per CPU-second");
+  flags.AddString("heap_profile", "",
+                  "sample heap allocations for the whole run, emit "
+                  "heap_profile records, and write folded collapsed "
+                  "stacks (flamegraph.pl input) to this path");
+  flags.AddInt64("heap_sample_bytes",
+                 static_cast<std::int64_t>(obs::kDefaultHeapSampleBytes),
+                 "mean bytes between heap samples (smaller = finer "
+                 "attribution, more overhead)");
   flags.AddDouble("watchdog_stall_seconds", 0.0,
                   "emit a watchdog_stall record when a phase makes no "
                   "progress for this long (0 = watchdog off)");
@@ -144,9 +153,11 @@ int Run(int argc, char** argv) {
   obs_options.hw_counters = flags.GetBool("hw_counters");
   const std::int64_t statusz_port = flags.GetInt64("statusz_port");
   const std::string profile_out = flags.GetString("profile");
+  const std::string heap_profile_out = flags.GetString("heap_profile");
   const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
   if (obs_options.metrics_out.empty() &&
-      (statusz_port >= 0 || !profile_out.empty() || watchdog_stall > 0.0) &&
+      (statusz_port >= 0 || !profile_out.empty() ||
+       !heap_profile_out.empty() || watchdog_stall > 0.0) &&
       std::getenv("CHAMELEON_METRICS") == nullptr) {
     // /statusz, /metricsz, and the profiler render from the live obs
     // registries, which only run when a sink exists; a discarded stream
@@ -185,6 +196,18 @@ int Run(int argc, char** argv) {
       // An OBS=OFF build (or a non-Linux host) still runs the estimate,
       // just without a profile.
       std::fprintf(stderr, "warning: profiler disabled: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (!heap_profile_out.empty()) {
+    obs::HeapProfilerOptions heap_options;
+    heap_options.sample_bytes =
+        static_cast<std::size_t>(flags.GetInt64("heap_sample_bytes"));
+    heap_options.folded_out = heap_profile_out;
+    if (Status s = obs::StartHeapProfiler(heap_options); !s.ok()) {
+      // Sanitizer and OBS=OFF builds still run the estimate; FinalizeRun
+      // notes the reason in a heap_profiler_unavailable record.
+      std::fprintf(stderr, "warning: heap profiler disabled: %s\n",
                    s.ToString().c_str());
     }
   }
@@ -272,6 +295,21 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "warning: profiler stop failed: %s\n",
                    profile.status().ToString().c_str());
     }
+  }
+
+  if (obs::HeapProfilerActive()) {
+    // Snapshot only — FinalizeRun (inside ShutdownObservability) emits
+    // the heap_profile records and stops the sampler, so stopping here
+    // would replace them with an "unavailable" note.
+    const obs::HeapProfileReport heap =
+        obs::SnapshotHeapProfile(/*symbolize=*/false);
+    std::fprintf(stdout,
+                 "heap: %llu samples, est peak %.2f MiB, exact cum "
+                 "%.2f MiB -> %s\n",
+                 static_cast<unsigned long long>(heap.samples),
+                 static_cast<double>(heap.est_peak_bytes) / 1048576.0,
+                 static_cast<double>(heap.exact_cum_bytes) / 1048576.0,
+                 heap_profile_out.c_str());
   }
 
   obs::ShutdownObservability();

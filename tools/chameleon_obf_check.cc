@@ -20,6 +20,7 @@
 
 #include "chameleon/graph/io.h"
 #include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/obs/heap_profiler.h"
 #include "chameleon/obs/obs.h"
 #include "chameleon/obs/profiler.h"
 #include "chameleon/obs/run_context.h"
@@ -140,6 +141,14 @@ int Run(int argc, char** argv) {
                   "capture a whole-run sampling profile to this folded-"
                   "stacks file");
   flags.AddInt64("profile_hz", 99, "sampling frequency per CPU-second");
+  flags.AddString("heap_profile", "",
+                  "sample heap allocations for the whole run, emit "
+                  "heap_profile records, and write folded collapsed "
+                  "stacks to this path");
+  flags.AddInt64("heap_sample_bytes",
+                 static_cast<std::int64_t>(obs::kDefaultHeapSampleBytes),
+                 "mean bytes between heap samples (smaller = finer "
+                 "attribution, more overhead)");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -203,9 +212,13 @@ int Run(int argc, char** argv) {
   obs_options.metrics_out = flags.GetString("metrics_out");
   obs_options.hw_counters = flags.GetBool("hw_counters");
   const double watchdog_stall = flags.GetDouble("watchdog_stall_seconds");
-  if (obs_options.metrics_out.empty() && watchdog_stall > 0.0 &&
+  const std::string heap_profile_out = flags.GetString("heap_profile");
+  if (obs_options.metrics_out.empty() &&
+      (watchdog_stall > 0.0 || !heap_profile_out.empty()) &&
       std::getenv("CHAMELEON_METRICS") == nullptr) {
-    obs_options.metrics_out = "/dev/null";  // keep stall records flowing
+    // Keep stall and heap_profile records flowing without forcing the
+    // user to pick a metrics path.
+    obs_options.metrics_out = "/dev/null";
   }
   if (Status s = obs::InitObservability(obs_options); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -229,6 +242,16 @@ int Run(int argc, char** argv) {
       // An OBS=OFF build (or a non-Linux host) still runs the check,
       // just without a profile.
       std::fprintf(stderr, "warning: profiler disabled: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (!heap_profile_out.empty()) {
+    obs::HeapProfilerOptions heap_options;
+    heap_options.sample_bytes =
+        static_cast<std::size_t>(flags.GetInt64("heap_sample_bytes"));
+    heap_options.folded_out = heap_profile_out;
+    if (Status s = obs::StartHeapProfiler(heap_options); !s.ok()) {
+      std::fprintf(stderr, "warning: heap profiler disabled: %s\n",
                    s.ToString().c_str());
     }
   }
@@ -295,6 +318,20 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stdout, "per-vertex csv: %s\n", csv.c_str());
+  }
+
+  if (obs::HeapProfilerActive()) {
+    // Snapshot only — FinalizeRun (inside ShutdownObservability) emits
+    // the heap_profile records and stops the sampler.
+    const obs::HeapProfileReport heap =
+        obs::SnapshotHeapProfile(/*symbolize=*/false);
+    std::fprintf(stdout,
+                 "heap: %llu samples, est peak %.2f MiB, exact cum "
+                 "%.2f MiB -> %s\n",
+                 static_cast<unsigned long long>(heap.samples),
+                 static_cast<double>(heap.est_peak_bytes) / 1048576.0,
+                 static_cast<double>(heap.exact_cum_bytes) / 1048576.0,
+                 heap_profile_out.c_str());
   }
 
   obs::ShutdownObservability();

@@ -144,6 +144,39 @@ struct HwDumpRow {
   double branch_miss_rate = 0.0;
 };
 
+/// One "heap_profile" record: a sampled allocation site (span path +
+/// stack frames) with live/peak/cumulative byte estimates.
+struct HeapSiteDumpRow {
+  std::string span_path;
+  double samples = 0.0;
+  double cum_bytes = 0.0;
+  double cum_allocs = 0.0;
+  double live_bytes = 0.0;
+  double live_allocs = 0.0;
+  double peak_bytes = 0.0;
+  double leak_bytes = 0.0;
+  bool allowlisted = false;
+  std::vector<std::string> frames;
+};
+
+/// The "heap_timeline" record: process-wide sampled-heap totals plus the
+/// live-bytes / RSS trajectory.
+struct HeapTimelineDump {
+  double sample_bytes = 0.0;
+  double duration_ms = 0.0;
+  double samples = 0.0;
+  double dropped = 0.0;
+  double sites = 0.0;
+  double est_cum_bytes = 0.0;
+  double est_live_bytes = 0.0;
+  double est_peak_bytes = 0.0;
+  double exact_cum_bytes = 0.0;
+  double exact_cum_allocs = 0.0;
+  std::size_t points = 0;
+  double last_rss_kb = 0.0;
+  double peak_rss_kb = 0.0;
+};
+
 /// One "flight_event_dump" record: the per-thread flight-recorder rings
 /// dumped when a run dies on a signal.
 struct FlightDumpRow {
@@ -169,6 +202,10 @@ struct DumpResult {
   std::vector<HwDumpRow> hw_rows;
   /// Reasons from "hw_counters_unavailable" records (at most one per run).
   std::vector<std::string> hw_unavailable;
+  std::vector<HeapSiteDumpRow> heap_sites;
+  std::vector<HeapTimelineDump> heap_timelines;
+  /// Reasons from "heap_profiler_unavailable" records.
+  std::vector<std::string> heap_unavailable;
   /// Distinct record types this build does not recognize (forward-compat
   /// passthrough: counted, mentioned once each on stderr, never fatal).
   std::map<std::string, std::size_t> unknown_types;
@@ -431,6 +468,70 @@ Result<DumpResult> Load(const std::string& path) {
       out.hw_rows.push_back(std::move(row));
     } else if (*type == "hw_counters_unavailable") {
       out.hw_unavailable.push_back(
+          obs::JsonlStringField(line, "reason").value_or("?"));
+    } else if (*type == "heap_profile") {
+      HeapSiteDumpRow row;
+      row.span_path = obs::JsonlStringField(line, "span_path").value_or("?");
+      row.samples = obs::JsonlNumberField(line, "samples").value_or(0.0);
+      row.cum_bytes = obs::JsonlNumberField(line, "cum_bytes").value_or(0.0);
+      row.cum_allocs =
+          obs::JsonlNumberField(line, "cum_allocs").value_or(0.0);
+      row.live_bytes =
+          obs::JsonlNumberField(line, "live_bytes").value_or(0.0);
+      row.live_allocs =
+          obs::JsonlNumberField(line, "live_allocs").value_or(0.0);
+      row.peak_bytes =
+          obs::JsonlNumberField(line, "peak_bytes").value_or(0.0);
+      row.leak_bytes =
+          obs::JsonlNumberField(line, "leak_bytes").value_or(0.0);
+      row.allowlisted =
+          line.find("\"allowlisted\":true") != std::string::npos;
+      ExtractStringArray(line, "\"frames\":[", &row.frames);
+      out.heap_sites.push_back(std::move(row));
+    } else if (*type == "heap_timeline") {
+      HeapTimelineDump row;
+      row.sample_bytes =
+          obs::JsonlNumberField(line, "sample_bytes").value_or(0.0);
+      row.duration_ms =
+          obs::JsonlNumberField(line, "duration_ms").value_or(0.0);
+      row.samples = obs::JsonlNumberField(line, "samples").value_or(0.0);
+      row.dropped = obs::JsonlNumberField(line, "dropped").value_or(0.0);
+      row.sites = obs::JsonlNumberField(line, "sites").value_or(0.0);
+      row.est_cum_bytes =
+          obs::JsonlNumberField(line, "est_cum_bytes").value_or(0.0);
+      row.est_live_bytes =
+          obs::JsonlNumberField(line, "est_live_bytes").value_or(0.0);
+      row.est_peak_bytes =
+          obs::JsonlNumberField(line, "est_peak_bytes").value_or(0.0);
+      row.exact_cum_bytes =
+          obs::JsonlNumberField(line, "exact_cum_bytes").value_or(0.0);
+      row.exact_cum_allocs =
+          obs::JsonlNumberField(line, "exact_cum_allocs").value_or(0.0);
+      // Walk the flat points array for its count and the RSS trajectory.
+      const std::size_t block = line.find("\"points\":[");
+      if (block != std::string::npos) {
+        std::size_t i = block;
+        while ((i = line.find("\"rss_kb\":", i)) != std::string::npos) {
+          i += 9;
+          std::size_t end = i;
+          while (end < line.size() &&
+                 std::string_view("+-.eE0123456789").find(line[end]) !=
+                     std::string_view::npos) {
+            ++end;
+          }
+          if (const Result<double> value =
+                  ParseDouble(line.substr(i, end - i));
+              value.ok()) {
+            ++row.points;
+            row.last_rss_kb = *value;
+            row.peak_rss_kb = std::max(row.peak_rss_kb, *value);
+          }
+          i = end;
+        }
+      }
+      out.heap_timelines.push_back(row);
+    } else if (*type == "heap_profiler_unavailable") {
+      out.heap_unavailable.push_back(
           obs::JsonlStringField(line, "reason").value_or("?"));
     } else if (*type == "run_summary") {
       const auto wall = obs::JsonlNumberField(line, "wall_ms");
@@ -714,6 +815,18 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                 dump.hw_unavailable.front().c_str());
   }
 
+  if (!dump.heap_sites.empty() || !dump.heap_timelines.empty()) {
+    const double samples =
+        dump.heap_timelines.empty() ? 0.0
+                                    : dump.heap_timelines.back().samples;
+    std::printf("\nheap profile: %zu site(s), %.0f samples; rerun with "
+                "--heap for the allocation table\n",
+                dump.heap_sites.size(), samples);
+  } else if (!dump.heap_unavailable.empty()) {
+    std::printf("\nheap profiler unavailable: %s\n",
+                dump.heap_unavailable.front().c_str());
+  }
+
   if (!dump.summary_counters.empty()) {
     std::printf("\nrun summary counters:\n");
     std::size_t cwidth = 5;
@@ -821,6 +934,92 @@ int PrintHw(const DumpResult& dump, std::int64_t top) {
   return 0;
 }
 
+/// The --heap view: "who owns the heap at peak?" — the per-site sampled
+/// allocation table from the run's "heap_profile" records, sorted by
+/// `sort` (cum | live | peak | leak), biggest first, with the process-
+/// wide timeline headline on top.
+int PrintHeap(const DumpResult& dump, const std::string& sort_key,
+              std::int64_t top) {
+  if (dump.heap_sites.empty() && dump.heap_timelines.empty()) {
+    if (!dump.heap_unavailable.empty()) {
+      std::fprintf(stderr, "heap profiler unavailable: %s\n",
+                   dump.heap_unavailable.front().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "no heap_profile records found (rerun the tool with "
+                   "--heap_profile=heap.folded)\n");
+    }
+    return 1;
+  }
+
+  if (!dump.heap_timelines.empty()) {
+    const HeapTimelineDump& t = dump.heap_timelines.back();
+    std::printf("heap profile: %.0f samples over %.1f ms at 1/%.0f bytes "
+                "(%.0f dropped, %.0f sites)\n",
+                t.samples, t.duration_ms, t.sample_bytes, t.dropped,
+                t.sites);
+    std::printf("  estimated: cum %.3f MiB, live-at-end %.3f MiB, "
+                "peak %.3f MiB\n",
+                t.est_cum_bytes / 1048576.0, t.est_live_bytes / 1048576.0,
+                t.est_peak_bytes / 1048576.0);
+    std::printf("  exact:     cum %.3f MiB across %.0f allocations\n",
+                t.exact_cum_bytes / 1048576.0, t.exact_cum_allocs);
+    if (t.points > 0) {
+      std::printf("  rss: last %.0f kb, peak %.0f kb over %zu timeline "
+                  "points\n",
+                  t.last_rss_kb, t.peak_rss_kb, t.points);
+    }
+  }
+  if (dump.heap_sites.empty()) {
+    std::printf("(no per-site records — the run allocated less than one "
+                "sampling interval)\n");
+    return 0;
+  }
+
+  std::vector<HeapSiteDumpRow> rows = dump.heap_sites;
+  const auto key = [&sort_key](const HeapSiteDumpRow& r) {
+    if (sort_key == "live") return r.live_bytes;
+    if (sort_key == "peak") return r.peak_bytes;
+    if (sort_key == "leak") return r.leak_bytes;
+    return r.cum_bytes;
+  };
+  std::sort(rows.begin(), rows.end(),
+            [&key](const HeapSiteDumpRow& a, const HeapSiteDumpRow& b) {
+              return key(a) > key(b);
+            });
+  if (top > 0 && static_cast<std::size_t>(top) < rows.size()) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+
+  std::size_t width = 9;
+  for (const HeapSiteDumpRow& row : rows) {
+    width = std::max(width, row.span_path.size());
+  }
+  std::printf("\n%-*s %8s %12s %10s %12s %12s %12s\n",
+              static_cast<int>(width), "span path", "samples", "cum MiB",
+              "allocs", "live KiB", "peak KiB", "leak KiB");
+  for (const HeapSiteDumpRow& row : rows) {
+    std::printf("%-*s %8.0f %12.3f %10.0f %12.1f %12.1f %12.1f%s\n",
+                static_cast<int>(width), row.span_path.c_str(), row.samples,
+                row.cum_bytes / 1048576.0, row.cum_allocs,
+                row.live_bytes / 1024.0, row.peak_bytes / 1024.0,
+                row.leak_bytes / 1024.0,
+                row.allowlisted ? "  [allowlisted]" : "");
+    // The innermost non-allocator frame names the allocating code; one
+    // line keeps the table scannable while still answering "who".
+    for (const std::string& frame : row.frames) {
+      if (frame.compare(0, 12, "operator_new") == 0 ||
+          frame.compare(0, 12, "operator new") == 0) {
+        continue;
+      }
+      std::printf("%-*s   ^ %s\n", static_cast<int>(width), "",
+                  frame.c_str());
+      break;
+    }
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags(
       "chameleon_obs_dump: per-phase timing table from a metrics JSONL "
@@ -834,6 +1033,11 @@ int Run(int argc, char** argv) {
   flags.AddBool("hw", false,
                 "print the per-span-path hardware-counter bottleneck "
                 "table instead of the timing report");
+  flags.AddBool("heap", false,
+                "print the sampled heap-allocation site table instead of "
+                "the timing report (sort with --heap_sort)");
+  flags.AddString("heap_sort", "cum",
+                  "heap table order: cum | live | peak | leak");
   flags.AddBool("version", false, "print build provenance and exit");
   flags.AddBool("help", false, "show usage");
 
@@ -872,6 +1076,10 @@ int Run(int argc, char** argv) {
   }
   if (flags.GetBool("hw")) {
     return PrintHw(*dump, flags.GetInt64("top"));
+  }
+  if (flags.GetBool("heap")) {
+    return PrintHeap(*dump, flags.GetString("heap_sort"),
+                     flags.GetInt64("top"));
   }
   // Forward-compat: one debug note per distinct unrecognized type. A
   // stream written by a newer tool still dumps — whatever this build

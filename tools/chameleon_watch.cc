@@ -241,6 +241,39 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
     return StrFormat("hw counters unavailable: %s\n",
                      reason.value_or("?").c_str());
   }
+  if (*type == "heap_profile") {
+    const auto span = obs::JsonlStringField(line, "span_path");
+    const double cum =
+        obs::JsonlNumberField(line, "cum_bytes").value_or(0.0);
+    const double live =
+        obs::JsonlNumberField(line, "live_bytes").value_or(0.0);
+    const double samples =
+        obs::JsonlNumberField(line, "samples").value_or(0.0);
+    return StrFormat(
+        "heap %s: cum %.2f MiB, live %.1f KiB over %.0f samples%s\n",
+        span.value_or("?").c_str(), cum / 1048576.0, live / 1024.0,
+        samples,
+        line.find("\"allowlisted\":true") != std::string::npos
+            ? " [allowlisted]"
+            : "");
+  }
+  if (*type == "heap_timeline") {
+    const double samples =
+        obs::JsonlNumberField(line, "samples").value_or(0.0);
+    const double est_peak =
+        obs::JsonlNumberField(line, "est_peak_bytes").value_or(0.0);
+    const double exact_cum =
+        obs::JsonlNumberField(line, "exact_cum_bytes").value_or(0.0);
+    return StrFormat(
+        "heap profile: %.0f samples, est peak %.2f MiB, exact cum "
+        "%.2f MiB (see obs_dump --heap)\n",
+        samples, est_peak / 1048576.0, exact_cum / 1048576.0);
+  }
+  if (*type == "heap_profiler_unavailable") {
+    const auto reason = obs::JsonlStringField(line, "reason");
+    return StrFormat("heap profiler unavailable: %s\n",
+                     reason.value_or("?").c_str());
+  }
   if (*type == "run_summary") {
     state->summary_seen = true;
     state->wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
