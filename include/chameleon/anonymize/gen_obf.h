@@ -1,0 +1,72 @@
+#ifndef CHAMELEON_ANONYMIZE_GEN_OBF_H_
+#define CHAMELEON_ANONYMIZE_GEN_OBF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "chameleon/anonymize/perturbation.h"
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/privacy/obfuscation.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/status.h"
+
+/// \file gen_obf.h
+/// One randomized obfuscation attempt at a fixed global noise level σ
+/// (paper Algorithm 3, GenObf):
+///
+///   1. Exclude the ⌈ε/2·|V|⌉ highest-uniqueness vertices H — outliers
+///      so re-identifiable that obfuscating them would demand graph-wide
+///      noise. Half the ε budget is spent on them up front; their
+///      incident edges are never perturbed.
+///   2. Draw a candidate set EC of ⌈c·|E|⌉ eligible edges, weighted by
+///      the priorities Q^e (Efraimidis–Spirakis exponential-key sampling
+///      without replacement, deterministic given the attempt's rng).
+///   3. Perturb each candidate with the variant's noise model at scale
+///      σ(e) = σ·Q^e / mean(Q over EC) — budget proportional to Q^e,
+///      normalized so the mean candidate scale is σ.
+///   4. Verify the perturbed graph with the (k,ε)-obfuscation verifier
+///      (privacy/obfuscation.h); the attempt succeeds iff ε̂ ≤ ε.
+///
+/// Edges with p = 1 whose relevance the reused-sampling estimator cannot
+/// observe are still eligible: perturbing certain edges is exactly how
+/// uncertainty is injected (and the Rep-An p ∈ {0,1} special case relies
+/// on it).
+
+namespace chameleon::anonymize {
+
+struct GenObfOptions {
+  /// Privacy parameters forwarded to the verifier.
+  double k = 100.0;
+  double epsilon = 1e-4;
+  /// Candidate-set size as a fraction c of |E|.
+  double candidate_fraction = 0.3;
+  /// Probability q of the uniform escape draw per candidate.
+  double white_noise = 0.01;
+  NoiseModel noise = NoiseModel::kMaxEntropy;
+  privacy::AdversaryModel adversary =
+      privacy::AdversaryModel::kRoundedExpectedDegree;
+  int threads = 0;
+};
+
+/// Outcome of one GenObf attempt.
+struct GenObfAttempt {
+  graph::UncertainGraph published;
+  privacy::ObfuscationCertificate certificate;
+  double sigma = 0.0;
+  std::size_t perturbed_edges = 0;
+  std::size_t excluded_vertices = 0;
+  double wall_ms = 0.0;
+};
+
+/// Runs one attempt. `uniqueness` holds U^v per vertex; `priorities`
+/// holds Q^e per edge (perturbation.h). Consumes draws from `rng` — pass
+/// a per-attempt stream for reproducible multi-attempt search.
+Result<GenObfAttempt> GenObf(const graph::UncertainGraph& graph,
+                             const std::vector<double>& uniqueness,
+                             const std::vector<double>& priorities,
+                             double sigma, const GenObfOptions& options,
+                             Rng& rng);
+
+}  // namespace chameleon::anonymize
+
+#endif  // CHAMELEON_ANONYMIZE_GEN_OBF_H_

@@ -1,0 +1,66 @@
+#ifndef CHAMELEON_ANONYMIZE_PERTURBATION_H_
+#define CHAMELEON_ANONYMIZE_PERTURBATION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/rng.h"
+#include "chameleon/util/status.h"
+
+/// \file perturbation.h
+/// Edge-probability noise models and perturbation priorities Q^e
+/// (paper Section V). Two noise models implement Table II's
+/// "anonymity-oriented perturbation" axis:
+///
+///   max-entropy   p̃ = p + (1 − 2p)·r with r ∈ [0, 1]. The (1 − 2p)
+///                 gradient always moves p toward (and past) 1/2, so
+///                 |p̃ − 1/2| = |p − 1/2|·|1 − 2r| ≤ |p − 1/2|: every
+///                 draw weakly increases the edge's Bernoulli entropy
+///                 and hence the degree-distribution entropy the
+///                 (k,ε) adversary faces. Used by RSME and ME.
+///   additive      p̃ = p + r with r ∈ [−p, 1 − p] — plain symmetric
+///                 noise that may sharpen an edge. Used by RS, which
+///                 ablates the max-entropy axis.
+///
+/// In both models r is truncated-normal with standard deviation σ(e),
+/// except with probability q ("white noise") r is drawn uniformly from
+/// the model's full range — the paper's escape hatch that keeps the
+/// search from stalling when σ is tiny but a few vertices need large
+/// moves.
+///
+/// The per-edge noise budget comes from the priority Q^e: high where
+/// noise buys anonymity (edges incident to high-uniqueness vertices,
+/// whose outlier degrees the adversary exploits) and where it costs
+/// little utility (low reliability relevance):
+///   Q^e = ((U^u + U^v) / 2) · (1 − ERR^e / max_e ERR^e),
+/// with the relevance factor dropped when the variant ablates
+/// reliability-oriented selection (ME) or the graph has no usable
+/// relevance estimate.
+
+namespace chameleon::anonymize {
+
+enum class NoiseModel {
+  kMaxEntropy,
+  kAdditive,
+};
+
+std::string_view NoiseModelName(NoiseModel model);
+
+/// One noise draw: perturbs probability `p` with scale `sigma_e` under
+/// `model`, mixing in the uniform escape draw with probability
+/// `white_noise`. Result is always in [0, 1].
+double PerturbProbability(double p, double sigma_e, NoiseModel model,
+                          double white_noise, Rng& rng);
+
+/// Perturbation priorities Q^e for every edge. `uniqueness` must hold
+/// U^v per vertex (privacy/uniqueness.h); `relevance_err` is ERR^e per
+/// edge or empty to drop the relevance factor (Table II's ME column).
+/// InvalidArgument on size mismatches.
+Result<std::vector<double>> ComputeEdgePriorities(
+    const graph::UncertainGraph& graph, const std::vector<double>& uniqueness,
+    const std::vector<double>& relevance_err);
+
+}  // namespace chameleon::anonymize
+
+#endif  // CHAMELEON_ANONYMIZE_PERTURBATION_H_

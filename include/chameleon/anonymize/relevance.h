@@ -1,0 +1,97 @@
+#ifndef CHAMELEON_ANONYMIZE_RELEVANCE_H_
+#define CHAMELEON_ANONYMIZE_RELEVANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/status.h"
+
+/// \file relevance.h
+/// Reliability relevance ERR^e (paper Definition 5, Algorithm 2): the
+/// sensitivity of the expected number of connected vertex pairs to edge
+/// e's probability,
+///   ERR^e = ∂R(G)/∂p(e) = E_{W'}[pairs(W' + e) − pairs(W' − e)],
+/// where W' ranges over possible worlds of the *other* edges. Edges with
+/// high relevance carry the graph's connectivity structure; Chameleon's
+/// GenObf steers perturbation noise away from them.
+///
+/// The reused-sampling estimator (Lemma 3) shares one pool of N sampled
+/// worlds across every edge: per world it runs a single union-find pass,
+/// then sweeps all edges once. For a world W and edge e = (u, v) with
+/// u, v in *different* components, e is necessarily absent from W and the
+/// delta pairs(W + e) − pairs(W) is exactly |C_u|·|C_v|; when u, v are
+/// connected the delta is 0. Because edge coins are independent, the
+/// worlds with e absent are a fair sample of W', so averaging the deltas
+/// over those worlds (N_e of them) is unbiased. Total cost
+/// O(N·α(|V|)·|E|) for all edges simultaneously — versus the naive
+/// per-edge re-sampler's O(|E|·N·α(|V|)·|E|), which is kept here as the
+/// cross-validation oracle for tests.
+///
+/// Caveat inherited from the estimator: an edge with p(e) = 1 is never
+/// absent (N_e = 0), so its relevance is unobservable and reported as 0
+/// with zero weight. The driver treats such edges as non-candidates.
+///
+/// Determinism: every world w draws from its own splitmix-derived stream
+/// keyed by (seed, w), per-world contributions are exact integer counts
+/// accumulated per fixed-size block and merged in block order, so the
+/// result is bit-identical across worker counts.
+
+namespace chameleon::anonymize {
+
+struct RelevanceOptions {
+  /// Number of sampled worlds N shared across all edges.
+  std::size_t worlds = 200;
+  /// Master seed; per-world streams are derived, never shared.
+  std::uint64_t seed = 2018;
+  /// Worker count for the per-round world sweep (< 1 = hardware).
+  int threads = 0;
+  /// First convergence checkpoint; later checkpoints double. Rounds are
+  /// cut at checkpoints so early stopping stays deterministic.
+  std::size_t min_worlds = 32;
+  /// Early-stop rule on the per-world total relevance mass: stop when
+  /// the 95% CI half-width falls to max_rel_err·|mean| (0 = off).
+  double max_rel_err = 0.0;
+  /// Emit progress heartbeats to the log.
+  bool heartbeat = true;
+};
+
+/// Reliability relevance of every edge (plus diagnostics).
+struct EdgeRelevance {
+  /// ERR^e per edge, aligned with graph.edges().
+  std::vector<double> err;
+  /// Variance of each ERR^e estimate (sample variance / N_e); 0 when
+  /// N_e < 2. Tests use this for self-scaling MC error bounds.
+  std::vector<double> err_variance;
+  /// N_e: worlds in which edge e was absent (the usable sample count).
+  std::vector<std::uint32_t> absent_worlds;
+  /// VRR^v: summed relevance of v's incident edges.
+  std::vector<double> vertex_err;
+  /// Worlds actually sampled (== options.worlds unless stopped early).
+  std::size_t worlds = 0;
+  bool stopped_early = false;
+  double mean_err = 0.0;
+  double max_err = 0.0;
+  /// Mean per-world total relevance mass Σ_e delta_e(W) — the
+  /// convergence statistic reported in relevance_progress records.
+  double mean_world_mass = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Reused-sampling estimator (Algorithm 2). Emits an
+/// `anonymize/relevance` trace span and `relevance_progress` JSONL
+/// records at geometric world-count checkpoints while observability is
+/// live. InvalidArgument when options.worlds == 0.
+Result<EdgeRelevance> EstimateRelevance(const graph::UncertainGraph& graph,
+                                        const RelevanceOptions& options);
+
+/// Naive per-edge re-sampler: for each edge, N fresh worlds of the other
+/// edges. O(|E|²·N·α) — the test oracle for cross-validating the reused
+/// estimator on small graphs; never used by the driver.
+Result<EdgeRelevance> EstimateRelevanceNaive(
+    const graph::UncertainGraph& graph, const RelevanceOptions& options);
+
+}  // namespace chameleon::anonymize
+
+#endif  // CHAMELEON_ANONYMIZE_RELEVANCE_H_

@@ -118,6 +118,25 @@
 ///    — written exactly once when the run carries no heap capture (not
 ///    requested, refused under a sanitizer, or stopped early); a stream
 ///    never holds both this and heap_profile/heap_timeline records
+///   {"type":"relevance_progress", "t_ms":..., "label":...,
+///    "worlds":N, "total_worlds":..., "mean_err":..., "max_err":...,
+///    "mean_world_mass":..., "ci_halfwidth":..., "rel_err":...
+///    [, "final":true, "stopped_early":bool]}  — one reliability-
+///    relevance estimator checkpoint (anonymize/relevance.h), emitted
+///    at geometric world counts; the "final" row carries the converged
+///    totals and whether the adaptive stop fired before the budget
+///   {"type":"anonymize_attempt", "t_ms":..., "method":...,
+///    "phase":..., "level":N, "attempt":N, "sigma":...,
+///    "success":bool, "eps_hat":..., "not_obfuscated":N,
+///    "vertices":N, "perturbed_edges":N, "excluded":N, "wall_ms":...}
+///    — one GenObf attempt inside the σ-search driver
+///    (anonymize/chameleon.h); "phase" is "expand" or "refine"
+///   {"type":"sigma_search", "t_ms":..., "method":..., "phase":...,
+///    "level":N, "sigma":..., "lo":..., "hi":..., "success":bool,
+///    "eps_hat":..., "attempts":N, "best_sigma":...}  — one σ-search
+///    level summary; the closing record has phase "final" with the
+///    chosen σ in "best_sigma" ("success":false means infeasible up
+///    to sigma_max)
 /// Writers format the line; sinks only append and are thread-safe.
 ///
 /// Readers (chameleon_obs_dump, chameleon_watch) treat unknown "type"

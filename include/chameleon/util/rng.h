@@ -72,6 +72,16 @@ class Rng {
   /// Standard normal deviate (Box-Muller with one cached value).
   double Gaussian();
 
+  /// Truncated normal deviate: X ~ N(mean, sigma²) conditioned on
+  /// lo <= X <= hi. Exact rejection sampling — plain normal rejection
+  /// when the window covers the mode, a uniform proposal bounded by the
+  /// window's peak density for narrow windows, and Robert's (1995)
+  /// shifted-exponential proposal for one-sided tail windows, so the
+  /// expected draw count stays O(1) in every regime. Degenerate inputs
+  /// (sigma <= 0 or lo == hi) return mean clamped to [lo, hi]. Requires
+  /// lo <= hi.
+  double TruncatedGaussian(double mean, double sigma, double lo, double hi);
+
   /// Derives an independent child stream (for per-thread / per-phase
   /// generators that must not share state with the parent).
   Rng Split() {

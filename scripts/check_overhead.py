@@ -87,6 +87,16 @@ GATES = [
         "note": "operator new/delete hook dormant <2%, sampling at the "
                 "default rate <5%",
     },
+    {
+        "name": "anonymize_suite",
+        "binary": "chameleon_bench_anonymize",
+        "kind": "harness",
+        "args": ["--quick"],
+        "out": "BENCH_anonymize.ci.json",
+        "note": "anonymization-core suite (relevance sweep, GenObf "
+                "attempt, trunc-normal draws); no budget of its own, "
+                "feeds the bench_diff steps",
+    },
 ]
 
 GBENCH_ARGS = ["--benchmark_min_time=0.2", "--benchmark_repetitions=3"]

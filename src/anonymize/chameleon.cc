@@ -1,0 +1,300 @@
+#include "chameleon/anonymize/chameleon.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "chameleon/anonymize/perturbation.h"
+#include "chameleon/anonymize/rep_an.h"
+#include "chameleon/obs/flight_recorder.h"
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::anonymize {
+namespace {
+
+/// Per-attempt stream derived from (seed, level, attempt) with mixing
+/// constants distinct from the relevance estimator's per-world streams.
+std::uint64_t AttemptSeed(std::uint64_t seed, std::size_t level,
+                          std::size_t attempt) {
+  std::uint64_t state = seed ^ (0x94d049bb133111ebull * (level + 1)) ^
+                        (0xd6e8feb86659fd93ull * (attempt + 1));
+  return SplitMix64(state);
+}
+
+Status ValidateOptions(const graph::UncertainGraph& graph, Variant variant,
+                       const ChameleonOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no vertices");
+  }
+  if (!(options.k > 1.0)) {
+    return Status::InvalidArgument("k must be > 1");
+  }
+  if (options.epsilon < 0.0 || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in [0, 1]");
+  }
+  if (options.trials == 0) {
+    return Status::InvalidArgument("trials must be positive");
+  }
+  if (!(options.sigma_init > 0.0)) {
+    return Status::InvalidArgument("sigma_init must be positive");
+  }
+  if (options.sigma_max < options.sigma_init) {
+    return Status::InvalidArgument("sigma_max must be >= sigma_init");
+  }
+  const bool uses_relevance =
+      variant == Variant::kRSME || variant == Variant::kRS;
+  if (uses_relevance && options.relevance_worlds == 0) {
+    return Status::InvalidArgument(
+        "relevance_worlds must be positive for RSME/RS");
+  }
+  return Status::OK();
+}
+
+void EmitAttemptRecord(Variant variant, std::string_view phase,
+                       std::size_t level, std::size_t attempt, double sigma,
+                       const GenObfAttempt& result) {
+  if (!obs::Enabled()) return;
+  obs::RecordSink* sink = obs::GlobalSink();
+  if (sink == nullptr) return;
+  const auto& cert = result.certificate;
+  sink->Write(StrFormat(
+      "{\"type\":\"anonymize_attempt\",\"t_ms\":%llu,\"method\":\"%s\","
+      "\"phase\":\"%s\",\"level\":%zu,\"attempt\":%zu,\"sigma\":%.6g,"
+      "\"success\":%s,\"eps_hat\":%.6g,\"not_obfuscated\":%zu,"
+      "\"vertices\":%zu,\"perturbed_edges\":%zu,\"excluded\":%zu,"
+      "\"wall_ms\":%.3f}",
+      static_cast<unsigned long long>(WallUnixMillis()),
+      std::string(VariantName(variant)).c_str(),
+      std::string(phase).c_str(), level, attempt, sigma,
+      cert.obfuscated ? "true" : "false", cert.epsilon_hat,
+      cert.not_obfuscated, cert.vertices, result.perturbed_edges,
+      result.excluded_vertices, result.wall_ms));
+}
+
+void EmitSigmaSearchRecord(Variant variant, std::string_view phase,
+                           std::size_t level, double sigma, double lo,
+                           double hi, bool success, double best_eps_hat,
+                           std::size_t attempts, double best_sigma) {
+  if (!obs::Enabled()) return;
+  obs::RecordSink* sink = obs::GlobalSink();
+  if (sink == nullptr) return;
+  sink->Write(StrFormat(
+      "{\"type\":\"sigma_search\",\"t_ms\":%llu,\"method\":\"%s\","
+      "\"phase\":\"%s\",\"level\":%zu,\"sigma\":%.6g,\"lo\":%.6g,"
+      "\"hi\":%.6g,\"success\":%s,\"eps_hat\":%.6g,\"attempts\":%zu,"
+      "\"best_sigma\":%.6g}",
+      static_cast<unsigned long long>(WallUnixMillis()),
+      std::string(VariantName(variant)).c_str(),
+      std::string(phase).c_str(), level, sigma, lo, hi,
+      success ? "true" : "false", best_eps_hat, attempts, best_sigma));
+}
+
+class VariantAnonymizer : public Anonymizer {
+ public:
+  VariantAnonymizer(Variant variant, ChameleonOptions options)
+      : variant_(variant), options_(std::move(options)) {}
+
+  std::string_view name() const override { return VariantName(variant_); }
+
+  Result<AnonymizeResult> Run(
+      const graph::UncertainGraph& graph) const override {
+    return Anonymize(graph, variant_, options_);
+  }
+
+ private:
+  Variant variant_;
+  ChameleonOptions options_;
+};
+
+}  // namespace
+
+std::string_view VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kRSME:
+      return "RSME";
+    case Variant::kME:
+      return "ME";
+    case Variant::kRS:
+      return "RS";
+    case Variant::kRepAn:
+      return "Rep-An";
+  }
+  return "unknown";
+}
+
+Result<Variant> ParseVariant(std::string_view text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "rsme") return Variant::kRSME;
+  if (lower == "me") return Variant::kME;
+  if (lower == "rs") return Variant::kRS;
+  if (lower == "rep-an" || lower == "repan" || lower == "rep_an") {
+    return Variant::kRepAn;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown variant '%s' (want rsme|me|rs|rep-an)",
+                std::string(text).c_str()));
+}
+
+Result<AnonymizeResult> Anonymize(const graph::UncertainGraph& graph,
+                                  Variant variant,
+                                  const ChameleonOptions& options) {
+  if (variant == Variant::kRepAn) {
+    RepAnOptions rep_options;
+    rep_options.driver = options;
+    return RepAnAnonymize(graph, rep_options);
+  }
+  CHAMELEON_RETURN_IF_ERROR(ValidateOptions(graph, variant, options));
+  CHOBS_SPAN(span, "anonymize/driver");
+  WallTimer timer;
+
+  AnonymizeResult result;
+  result.variant = variant;
+
+  // Degree-property uniqueness U^v: the exclusion scores and half of Q^e.
+  privacy::UniquenessOptions uniq_options;
+  uniq_options.bandwidth = options.uniqueness_bandwidth;
+  uniq_options.threads = options.threads;
+  Result<privacy::UniquenessScores> uniqueness =
+      privacy::ComputeUniqueness(graph, uniq_options);
+  if (!uniqueness.ok()) return uniqueness.status();
+
+  // Reliability relevance ERR^e, for the variants that select by it.
+  std::vector<double> relevance_err;
+  if (variant == Variant::kRSME || variant == Variant::kRS) {
+    RelevanceOptions rel_options;
+    rel_options.worlds = options.relevance_worlds;
+    rel_options.seed = options.seed;
+    rel_options.threads = options.threads;
+    rel_options.max_rel_err = options.relevance_max_rel_err;
+    rel_options.heartbeat = options.heartbeat;
+    Result<EdgeRelevance> relevance = EstimateRelevance(graph, rel_options);
+    if (!relevance.ok()) return relevance.status();
+    relevance_err = std::move(relevance->err);
+    result.relevance_worlds = relevance->worlds;
+    result.relevance_wall_ms = relevance->wall_ms;
+  }
+
+  Result<std::vector<double>> priorities =
+      ComputeEdgePriorities(graph, uniqueness->scores, relevance_err);
+  if (!priorities.ok()) return priorities.status();
+
+  GenObfOptions gen_options;
+  gen_options.k = options.k;
+  gen_options.epsilon = options.epsilon;
+  gen_options.candidate_fraction = options.candidate_fraction;
+  gen_options.white_noise = options.white_noise;
+  gen_options.noise = variant == Variant::kRS ? NoiseModel::kAdditive
+                                              : NoiseModel::kMaxEntropy;
+  gen_options.adversary = options.adversary;
+  gen_options.threads = options.threads;
+
+  std::optional<GenObfAttempt> best;
+  std::optional<GenObfAttempt> last_failed;
+  double lo = 0.0;  // highest σ known to fail (0 = none tried below hi)
+  double hi = 0.0;  // smallest σ known to succeed (0 = none yet)
+  std::size_t level = 0;
+  Status level_error = Status::OK();
+
+  // Runs t attempts at one σ level; returns true when one succeeded
+  // (stored into `best`). Emits per-attempt and per-level records.
+  auto try_level = [&](double sigma, std::string_view phase) -> bool {
+    double best_eps_hat = 2.0;
+    std::size_t attempts_here = 0;
+    bool success = false;
+    for (std::size_t a = 0; a < options.trials; ++a) {
+      Rng rng(AttemptSeed(options.seed, level, a));
+      Result<GenObfAttempt> attempt = GenObf(
+          graph, uniqueness->scores, *priorities, sigma, gen_options, rng);
+      if (!attempt.ok()) {
+        level_error = attempt.status();
+        return false;
+      }
+      ++result.attempts;
+      ++attempts_here;
+      const bool ok = attempt->certificate.obfuscated;
+      best_eps_hat = std::min(best_eps_hat, attempt->certificate.epsilon_hat);
+      result.trace.push_back(SigmaTraceEntry{
+          sigma, level, a, std::string(phase), ok,
+          attempt->certificate.epsilon_hat, attempt->wall_ms});
+      EmitAttemptRecord(variant, phase, level, a, sigma, *attempt);
+      if (ok) {
+        best = std::move(*attempt);
+        success = true;
+        break;
+      }
+      last_failed = std::move(*attempt);
+    }
+    if (success) hi = sigma;
+    EmitSigmaSearchRecord(variant, phase, level, sigma, lo, hi, success,
+                          best_eps_hat, attempts_here, hi);
+    CHOBS_FLIGHT_EVENT(kCheckpoint, "anonymize/sigma_level", level,
+                       success ? 1 : 0);
+    ++level;
+    return success;
+  };
+
+  // Expansion: double σ from sigma_init until a level succeeds, with the
+  // final level clamped to sigma_max so the cap is actually tried.
+  bool found = false;
+  for (double sigma = options.sigma_init;;) {
+    if (try_level(sigma, "expand")) {
+      found = true;
+      break;
+    }
+    if (!level_error.ok()) return level_error;
+    lo = sigma;
+    if (sigma >= options.sigma_max) break;
+    sigma = std::min(sigma * 2.0, options.sigma_max);
+  }
+
+  // Refinement: bisect (lo, hi] toward the smallest successful σ,
+  // keeping the published graph of the best (lowest-σ) success.
+  if (found) {
+    for (std::size_t i = 0; i < options.refine_iters; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (!(mid > lo && mid < hi)) break;  // bracket exhausted
+      if (!try_level(mid, "refine")) {
+        if (!level_error.ok()) return level_error;
+        lo = mid;
+      }
+    }
+  }
+
+  result.feasible = found;
+  if (found) {
+    result.sigma = hi;
+    result.published = std::move(best->published);
+    result.certificate = std::move(best->certificate);
+    result.perturbed_edges = best->perturbed_edges;
+    result.excluded_vertices = best->excluded_vertices;
+  } else {
+    // Publish nothing new: callers get the input back plus the evidence
+    // of why the search failed.
+    result.published = graph;
+    if (last_failed.has_value()) {
+      result.certificate = std::move(last_failed->certificate);
+      result.perturbed_edges = last_failed->perturbed_edges;
+      result.excluded_vertices = last_failed->excluded_vertices;
+    }
+  }
+  result.wall_ms = timer.ElapsedMillis();
+  EmitSigmaSearchRecord(variant, "final", level, result.sigma, lo, hi, found,
+                        result.certificate.epsilon_hat, result.attempts,
+                        result.sigma);
+  span.AddCount("levels", level);
+  span.AddCount("attempts", result.attempts);
+  return result;
+}
+
+std::unique_ptr<Anonymizer> MakeAnonymizer(Variant variant,
+                                           const ChameleonOptions& options) {
+  return std::make_unique<VariantAnonymizer>(variant, options);
+}
+
+}  // namespace chameleon::anonymize

@@ -1,0 +1,153 @@
+#include "chameleon/anonymize/gen_obf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "chameleon/obs/obs.h"
+#include "chameleon/util/string_util.h"
+#include "chameleon/util/timer.h"
+
+namespace chameleon::anonymize {
+namespace {
+
+Status ValidateOptions(const graph::UncertainGraph& graph,
+                       const std::vector<double>& uniqueness,
+                       const std::vector<double>& priorities, double sigma,
+                       const GenObfOptions& options) {
+  if (uniqueness.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("uniqueness has %zu scores for %u nodes", uniqueness.size(),
+                  graph.num_nodes()));
+  }
+  if (priorities.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("priorities has %zu entries for %zu edges",
+                  priorities.size(), graph.num_edges()));
+  }
+  if (!(sigma > 0.0)) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  if (options.candidate_fraction <= 0.0 || options.candidate_fraction > 1.0) {
+    return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
+  }
+  if (options.white_noise < 0.0 || options.white_noise > 1.0) {
+    return Status::InvalidArgument("white_noise must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Indices of the h highest-uniqueness vertices; ties broken toward the
+/// lower id so the exclusion set is a pure function of the scores.
+std::vector<bool> ExcludeHardest(const std::vector<double>& uniqueness,
+                                 std::size_t h) {
+  std::vector<NodeId> order(uniqueness.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (uniqueness[a] != uniqueness[b]) return uniqueness[a] > uniqueness[b];
+    return a < b;
+  });
+  std::vector<bool> excluded(uniqueness.size(), false);
+  for (std::size_t i = 0; i < h && i < order.size(); ++i) {
+    excluded[order[i]] = true;
+  }
+  return excluded;
+}
+
+}  // namespace
+
+Result<GenObfAttempt> GenObf(const graph::UncertainGraph& graph,
+                             const std::vector<double>& uniqueness,
+                             const std::vector<double>& priorities,
+                             double sigma, const GenObfOptions& options,
+                             Rng& rng) {
+  CHAMELEON_RETURN_IF_ERROR(
+      ValidateOptions(graph, uniqueness, priorities, sigma, options));
+  CHOBS_SPAN(span, "anonymize/genobf");
+  WallTimer timer;
+  const auto& edges = graph.edges();
+
+  // 1. Hardest-vertex exclusion: ⌈ε/2·|V|⌉ vertices, half the ε budget.
+  const std::size_t h = static_cast<std::size_t>(
+      std::ceil(0.5 * options.epsilon * graph.num_nodes()));
+  const std::vector<bool> excluded = ExcludeHardest(uniqueness, h);
+
+  std::vector<EdgeId> eligible;
+  eligible.reserve(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!excluded[edges[e].u] && !excluded[edges[e].v]) {
+      eligible.push_back(static_cast<EdgeId>(e));
+    }
+  }
+
+  // 2. Q-weighted candidate selection without replacement: keep the
+  // ⌈c|E|⌉ smallest exponential keys −log(u)/Q^e. Zero-priority edges
+  // get an infinite key and are chosen only when everything else ran
+  // out. Keys are drawn in edge order, so the draw sequence — and the
+  // candidate set — is a pure function of the rng stream.
+  std::size_t want = static_cast<std::size_t>(
+      std::ceil(options.candidate_fraction * static_cast<double>(edges.size())));
+  want = std::min(want, eligible.size());
+  std::vector<std::pair<double, EdgeId>> keyed;
+  keyed.reserve(eligible.size());
+  for (const EdgeId e : eligible) {
+    const double u = 1.0 - rng.UniformDouble();  // (0, 1]
+    const double w = priorities[e];
+    const double key = w > 0.0 ? -std::log(u) / w
+                               : std::numeric_limits<double>::infinity();
+    keyed.emplace_back(key, e);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  keyed.resize(want);
+
+  // 3. Perturb candidates in edge order (stable rng consumption). The
+  // per-edge scale is σ·Q^e normalized by the candidate-mean priority.
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  double q_sum = 0.0;
+  for (const auto& [key, e] : keyed) q_sum += priorities[e];
+  const double q_mean = want > 0 ? q_sum / static_cast<double>(want) : 0.0;
+
+  std::vector<double> perturbed(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) perturbed[e] = edges[e].p;
+  for (const auto& [key, e] : keyed) {
+    const double scale =
+        q_mean > 0.0 ? sigma * priorities[e] / q_mean : sigma;
+    perturbed[e] = PerturbProbability(perturbed[e], scale, options.noise,
+                                      options.white_noise, rng);
+  }
+
+  graph::UncertainGraphBuilder builder(graph.num_nodes());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    CHAMELEON_RETURN_IF_ERROR(
+        builder.AddEdge(edges[e].u, edges[e].v, perturbed[e]));
+  }
+  Result<graph::UncertainGraph> published = std::move(builder).Build();
+  if (!published.ok()) return published.status();
+
+  // 4. Anonymity check via the existing (k,ε) verifier.
+  privacy::ObfuscationOptions verify;
+  verify.k = options.k;
+  verify.epsilon = options.epsilon;
+  verify.adversary = options.adversary;
+  verify.threads = options.threads;
+  verify.keep_per_vertex = false;
+  Result<privacy::ObfuscationCertificate> certificate =
+      privacy::VerifyObfuscation(*published, verify);
+  if (!certificate.ok()) return certificate.status();
+
+  GenObfAttempt attempt;
+  attempt.published = std::move(*published);
+  attempt.certificate = std::move(*certificate);
+  attempt.sigma = sigma;
+  attempt.perturbed_edges = want;
+  attempt.excluded_vertices = h;
+  attempt.wall_ms = timer.ElapsedMillis();
+  span.AddCount("candidates", want);
+  span.AddCount("excluded", h);
+  return attempt;
+}
+
+}  // namespace chameleon::anonymize

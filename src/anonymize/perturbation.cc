@@ -1,0 +1,69 @@
+#include "chameleon/anonymize/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chameleon/util/string_util.h"
+
+namespace chameleon::anonymize {
+
+std::string_view NoiseModelName(NoiseModel model) {
+  switch (model) {
+    case NoiseModel::kMaxEntropy:
+      return "max_entropy";
+    case NoiseModel::kAdditive:
+      return "additive";
+  }
+  return "unknown";
+}
+
+double PerturbProbability(double p, double sigma_e, NoiseModel model,
+                          double white_noise, Rng& rng) {
+  p = std::min(std::max(p, 0.0), 1.0);
+  // The white-noise coin is drawn before branching on the model so both
+  // models consume the stream identically per edge.
+  const bool white = white_noise > 0.0 && rng.Bernoulli(white_noise);
+  double result = p;
+  switch (model) {
+    case NoiseModel::kMaxEntropy: {
+      const double r =
+          white ? rng.UniformDouble() : rng.TruncatedGaussian(0.0, sigma_e, 0.0, 1.0);
+      result = p + (1.0 - 2.0 * p) * r;
+      break;
+    }
+    case NoiseModel::kAdditive: {
+      const double r = white ? rng.Uniform(-p, 1.0 - p)
+                             : rng.TruncatedGaussian(0.0, sigma_e, -p, 1.0 - p);
+      result = p + r;
+      break;
+    }
+  }
+  return std::min(std::max(result, 0.0), 1.0);
+}
+
+Result<std::vector<double>> ComputeEdgePriorities(
+    const graph::UncertainGraph& graph, const std::vector<double>& uniqueness,
+    const std::vector<double>& relevance_err) {
+  if (uniqueness.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("uniqueness has %zu scores for %u nodes", uniqueness.size(),
+                  graph.num_nodes()));
+  }
+  if (!relevance_err.empty() && relevance_err.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("relevance has %zu entries for %zu edges",
+                  relevance_err.size(), graph.num_edges()));
+  }
+  double max_err = 0.0;
+  for (const double v : relevance_err) max_err = std::max(max_err, v);
+  const auto& edges = graph.edges();
+  std::vector<double> priorities(edges.size(), 0.0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    double q = 0.5 * (uniqueness[edges[e].u] + uniqueness[edges[e].v]);
+    if (max_err > 0.0) q *= 1.0 - relevance_err[e] / max_err;
+    priorities[e] = q;
+  }
+  return priorities;
+}
+
+}  // namespace chameleon::anonymize

@@ -1,5 +1,8 @@
 #include "chameleon/util/rng.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace chameleon {
 
 std::uint64_t Rng::UniformInt(std::uint64_t bound) {
@@ -32,6 +35,52 @@ double Rng::Gaussian() {
   cached_gaussian_ = radius * std::sin(angle);
   has_cached_gaussian_ = true;
   return radius * std::cos(angle);
+}
+
+double Rng::TruncatedGaussian(double mean, double sigma, double lo,
+                              double hi) {
+  const double clamped = std::min(std::max(mean, lo), hi);
+  if (sigma <= 0.0 || lo >= hi) return clamped;
+  const double a = (lo - mean) / sigma;
+  const double b = (hi - mean) / sigma;
+  double z = 0.0;
+  if (b - a < 1.0) {
+    // Narrow window anywhere on the axis: uniform proposal, accepted
+    // against the density normalized by its maximum over [a, b] (attained
+    // at the mode when inside, else at the nearer endpoint). Acceptance
+    // is bounded below by exp(-(b-a)·max|a|,|b|/2 - (b-a)²/8) ≥ e^{-1}
+    // for windows this narrow near the body; tails shrink the window in
+    // z-units anyway.
+    const double peak = (a > 0.0) ? a : (b < 0.0 ? b : 0.0);
+    do {
+      z = Uniform(a, b);
+    } while (UniformDouble() > std::exp(0.5 * (peak * peak - z * z)));
+  } else if (a <= 0.0 && b >= 0.0) {
+    // Window covers the mode and is at least one sigma wide: plain
+    // rejection from the untruncated normal accepts with probability
+    // Φ(b) − Φ(a) ≥ Φ(1) − Φ(0) ≈ 0.34.
+    do {
+      z = Gaussian();
+    } while (z < a || z > b);
+  } else {
+    // One-sided tail window. Mirror so the window sits at a2 > 0, then
+    // use Robert's translated-exponential proposal with the optimal rate
+    // alpha = (a2 + sqrt(a2² + 4)) / 2.
+    const bool flip = b <= 0.0;
+    const double a2 = flip ? -b : a;
+    const double b2 = flip ? -a : b;
+    const double alpha = 0.5 * (a2 + std::sqrt(a2 * a2 + 4.0));
+    for (;;) {
+      const double u = 1.0 - UniformDouble();  // (0, 1]
+      z = a2 - std::log(u) / alpha;
+      if (z > b2) continue;
+      const double d = z - alpha;
+      if (UniformDouble() <= std::exp(-0.5 * d * d)) break;
+    }
+    if (flip) z = -z;
+  }
+  // FP round-off in mean + sigma*z can escape [lo, hi] by one ulp.
+  return std::min(std::max(mean + sigma * z, lo), hi);
 }
 
 }  // namespace chameleon

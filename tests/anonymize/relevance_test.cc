@@ -1,0 +1,208 @@
+#include "chameleon/anonymize/relevance.h"
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chameleon/graph/uncertain_graph.h"
+#include "chameleon/util/rng.h"
+
+namespace chameleon::anonymize {
+namespace {
+
+using graph::UncertainGraph;
+using graph::UncertainGraphBuilder;
+
+UncertainGraph MakeCycle12() {
+  UncertainGraphBuilder builder(12);
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_TRUE(builder.AddEdge(u, (u + 1) % 12, 0.5).ok());
+  }
+  Result<UncertainGraph> g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+UncertainGraph MakeStar9() {
+  UncertainGraphBuilder builder(9);
+  for (NodeId leaf = 1; leaf < 9; ++leaf) {
+    EXPECT_TRUE(builder.AddEdge(0, leaf, 0.9).ok());
+  }
+  Result<UncertainGraph> g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+/// Sparse ER graph on 64 nodes with heterogeneous probabilities — the
+/// "realistic" cross-validation fixture.
+UncertainGraph MakeEr64() {
+  Rng rng(7);
+  UncertainGraphBuilder builder(64);
+  for (NodeId u = 0; u < 64; ++u) {
+    for (NodeId v = u + 1; v < 64; ++v) {
+      if (rng.Bernoulli(4.0 / 63.0)) {
+        EXPECT_TRUE(builder.AddEdge(u, v, rng.Uniform(0.1, 0.9)).ok());
+      }
+    }
+  }
+  Result<UncertainGraph> g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+/// Per-edge cross-check at 5σ: the two estimators are independent Monte
+/// Carlo runs, so their difference has variance var_a + var_b.
+void ExpectWithinMcError(const EdgeRelevance& a, const EdgeRelevance& b) {
+  ASSERT_EQ(a.err.size(), b.err.size());
+  for (std::size_t e = 0; e < a.err.size(); ++e) {
+    const double sd =
+        std::sqrt(a.err_variance[e] + b.err_variance[e]);
+    const double bound = 5.0 * sd + 1e-9;
+    EXPECT_NEAR(a.err[e], b.err[e], bound)
+        << "edge " << e << " (N_a=" << a.absent_worlds[e]
+        << ", N_b=" << b.absent_worlds[e] << ")";
+  }
+}
+
+TEST(RelevanceTest, SingleEdgeIsExactlyOne) {
+  // With one edge (u, v), every world with the edge absent has both
+  // endpoints as singletons: delta = 1 in every usable world, so the
+  // estimate is exact regardless of N.
+  UncertainGraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.5).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  RelevanceOptions options;
+  options.worlds = 64;
+  const Result<EdgeRelevance> rel = EstimateRelevance(*g, options);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->err.size(), 1u);
+  EXPECT_DOUBLE_EQ(rel->err[0], 1.0);
+  EXPECT_DOUBLE_EQ(rel->err_variance[0], 0.0);
+  EXPECT_GT(rel->absent_worlds[0], 0u);
+  EXPECT_DOUBLE_EQ(rel->vertex_err[0], 1.0);
+  EXPECT_DOUBLE_EQ(rel->vertex_err[1], 1.0);
+}
+
+TEST(RelevanceTest, TwoEdgePathMatchesClosedForm) {
+  // Path 0-1-2 with edges a=(0,1), b=(1,2):
+  //   ERR^a = E_b[pairs(W+a) - pairs(W-a)] = 2*p_b + (1-p_b) = 1 + p_b.
+  const double pa = 0.4;
+  const double pb = 0.7;
+  UncertainGraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, pa).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, pb).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  RelevanceOptions options;
+  options.worlds = 20000;
+  const Result<EdgeRelevance> rel = EstimateRelevance(*g, options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_NEAR(rel->err[0], 1.0 + pb,
+              5.0 * std::sqrt(rel->err_variance[0]) + 1e-9);
+  EXPECT_NEAR(rel->err[1], 1.0 + pa,
+              5.0 * std::sqrt(rel->err_variance[1]) + 1e-9);
+}
+
+TEST(RelevanceTest, CertainEdgeIsUnobservable) {
+  // p = 1 edges are never absent: N_e = 0 and ERR reported as 0.
+  UncertainGraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.5).ok());
+  Result<UncertainGraph> g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  RelevanceOptions options;
+  options.worlds = 256;
+  const Result<EdgeRelevance> rel = EstimateRelevance(*g, options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->absent_worlds[0], 0u);
+  EXPECT_DOUBLE_EQ(rel->err[0], 0.0);
+  EXPECT_GT(rel->err[1], 0.0);
+}
+
+TEST(RelevanceTest, ReusedMatchesNaiveOnCycle) {
+  const UncertainGraph g = MakeCycle12();
+  RelevanceOptions options;
+  options.worlds = 4000;
+  const Result<EdgeRelevance> reused = EstimateRelevance(g, options);
+  const Result<EdgeRelevance> naive = EstimateRelevanceNaive(g, options);
+  ASSERT_TRUE(reused.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectWithinMcError(*reused, *naive);
+  // Symmetry: every cycle edge has the same true ERR, so the estimates
+  // cluster tightly around the shared mean.
+  EXPECT_GT(reused->mean_err, 0.0);
+  EXPECT_GE(reused->max_err, reused->mean_err);
+}
+
+TEST(RelevanceTest, ReusedMatchesNaiveOnStar) {
+  const UncertainGraph g = MakeStar9();
+  RelevanceOptions options;
+  options.worlds = 4000;
+  const Result<EdgeRelevance> reused = EstimateRelevance(g, options);
+  const Result<EdgeRelevance> naive = EstimateRelevanceNaive(g, options);
+  ASSERT_TRUE(reused.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectWithinMcError(*reused, *naive);
+}
+
+TEST(RelevanceTest, ReusedMatchesNaiveOnEr64) {
+  const UncertainGraph g = MakeEr64();
+  ASSERT_GT(g.num_edges(), 50u);
+  RelevanceOptions options;
+  options.worlds = 2000;
+  const Result<EdgeRelevance> reused = EstimateRelevance(g, options);
+  const Result<EdgeRelevance> naive = EstimateRelevanceNaive(g, options);
+  ASSERT_TRUE(reused.ok());
+  ASSERT_TRUE(naive.ok());
+  ExpectWithinMcError(*reused, *naive);
+}
+
+TEST(RelevanceTest, BitIdenticalAcrossWorkerCounts) {
+  const UncertainGraph g = MakeEr64();
+  RelevanceOptions options;
+  options.worlds = 512;
+  options.threads = 1;
+  const Result<EdgeRelevance> one = EstimateRelevance(g, options);
+  ASSERT_TRUE(one.ok());
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    const Result<EdgeRelevance> many = EstimateRelevance(g, options);
+    ASSERT_TRUE(many.ok());
+    EXPECT_EQ(one->err, many->err) << threads << " threads";
+    EXPECT_EQ(one->absent_worlds, many->absent_worlds);
+    EXPECT_EQ(one->vertex_err, many->vertex_err);
+  }
+}
+
+TEST(RelevanceTest, EarlyStopIsDeterministicAndFlagged) {
+  const UncertainGraph g = MakeCycle12();
+  RelevanceOptions options;
+  options.worlds = 100000;
+  options.max_rel_err = 0.05;
+  options.threads = 2;
+  const Result<EdgeRelevance> a = EstimateRelevance(g, options);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->stopped_early);
+  EXPECT_LT(a->worlds, options.worlds);
+  options.threads = 7;
+  const Result<EdgeRelevance> b = EstimateRelevance(g, options);
+  ASSERT_TRUE(b.ok());
+  // The stopping decision is made at deterministic checkpoints, so the
+  // world count (and therefore every estimate) is thread-invariant.
+  EXPECT_EQ(a->worlds, b->worlds);
+  EXPECT_EQ(a->err, b->err);
+}
+
+TEST(RelevanceTest, ZeroWorldsIsInvalidArgument) {
+  const UncertainGraph g = MakeCycle12();
+  RelevanceOptions options;
+  options.worlds = 0;
+  EXPECT_FALSE(EstimateRelevance(g, options).ok());
+}
+
+}  // namespace
+}  // namespace chameleon::anonymize

@@ -76,6 +76,20 @@ std::string MixedStream() {
       "\"not_obfuscated\":1,\"min_entropy_bits\":0,"
       "\"mean_entropy_bits\":2.67,\"distinct_omegas\":2,"
       "\"adversary\":\"expected_degree\",\"threads\":1,\"wall_ms\":0.1}\n"
+      "{\"type\":\"relevance_progress\",\"t_ms\":1,"
+      "\"label\":\"anonymize/relevance\",\"worlds\":200,"
+      "\"total_worlds\":200,\"mean_err\":3.25,\"max_err\":20,"
+      "\"mean_world_mass\":11.5,\"ci_halfwidth\":0.4,\"rel_err\":0.123,"
+      "\"final\":true,\"stopped_early\":false}\n"
+      "{\"type\":\"anonymize_attempt\",\"t_ms\":1,\"method\":\"RSME\","
+      "\"phase\":\"expand\",\"level\":0,\"attempt\":0,\"sigma\":0.05,"
+      "\"success\":false,\"eps_hat\":0.25,\"not_obfuscated\":2,"
+      "\"vertices\":9,\"perturbed_edges\":4,\"excluded\":1,"
+      "\"wall_ms\":0.2}\n"
+      "{\"type\":\"sigma_search\",\"t_ms\":2,\"method\":\"RSME\","
+      "\"phase\":\"final\",\"level\":3,\"sigma\":0.2,\"lo\":0.1,"
+      "\"hi\":0.2,\"success\":true,\"eps_hat\":0.04,\"attempts\":5,"
+      "\"best_sigma\":0.1875}\n"
       "{\"type\":\"quantum_flux\",\"t_ms\":2,\"q\":1}\n"
       "{\"type\":\"quantum_flux\",\"t_ms\":3,\"q\":2}\n"
       "{\"type\":\"quantum_flux\",\"t_ms\":4,\"q\":3}\n"
@@ -101,6 +115,21 @@ TEST(ObsDumpForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
   EXPECT_NE(result.stdout_text.find("privacy checks:"), std::string::npos)
       << result.stdout_text;
   EXPECT_NE(result.stdout_text.find("VIOLATED"), std::string::npos);
+  // The anonymization records are known types: rendered, never noted
+  // as unknown.
+  EXPECT_NE(result.stdout_text.find("sigma search:"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("anonymize attempts:"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("reliability relevance:"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_EQ(result.stderr_text.find("sigma_search"), std::string::npos)
+      << result.stderr_text;
+  EXPECT_EQ(result.stderr_text.find("anonymize_attempt"), std::string::npos);
+  EXPECT_EQ(result.stderr_text.find("relevance_progress"),
+            std::string::npos);
   // hw_counters is a known type: rendered (as the --hw hint), never in
   // the unknown-type notes.
   EXPECT_EQ(result.stderr_text.find("hw_counters"), std::string::npos)
@@ -173,6 +202,17 @@ TEST(WatchForwardCompatTest, UnknownTypesPassThroughWithOneNote) {
   EXPECT_NE(result.stdout_text.find("obfuscation VIOLATED"),
             std::string::npos)
       << result.stdout_text;
+  // The anonymization records render as one-liners, never as unknown.
+  EXPECT_NE(result.stdout_text.find("sigma search done"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("RSME expand level 0"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("relevance anonymize/relevance"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_EQ(result.stderr_text.find("sigma_search"), std::string::npos)
+      << result.stderr_text;
   EXPECT_NE(result.stdout_text.find("run finished"), std::string::npos);
   // hw_counters renders as the one-line ipc/cache-miss note, not as an
   // unknown type.

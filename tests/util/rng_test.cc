@@ -60,6 +60,95 @@ TEST(RngTest, GaussianMoments) {
   EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
 }
 
+/// Standard normal pdf/cdf for the closed-form truncated moments.
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+double NormalCdf(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+/// Closed-form mean and stddev of N(mu, sigma^2) truncated to [lo, hi].
+void TruncatedMoments(double mu, double sigma, double lo, double hi,
+                      double* mean, double* stddev) {
+  const double a = (lo - mu) / sigma;
+  const double b = (hi - mu) / sigma;
+  const double z = NormalCdf(b) - NormalCdf(a);
+  const double ratio = (NormalPdf(a) - NormalPdf(b)) / z;
+  *mean = mu + sigma * ratio;
+  const double var =
+      sigma * sigma *
+      (1.0 + (a * NormalPdf(a) - b * NormalPdf(b)) / z - ratio * ratio);
+  *stddev = std::sqrt(var);
+}
+
+TEST(RngTest, TruncatedGaussianStaysInsideEveryWindow) {
+  Rng rng(7);
+  const struct {
+    double mu, sigma, lo, hi;
+  } kWindows[] = {
+      {0.0, 1.0, -1.0, 1.0},   // mode covered, wide
+      {0.0, 0.05, 0.0, 1.0},   // perturbation shape: half line, tiny sigma
+      {0.0, 1.0, 0.2, 0.3},    // narrow slab
+      {0.0, 1.0, 4.0, 8.0},    // far right tail (rejection would stall)
+      {0.0, 1.0, -8.0, -4.0},  // far left tail (mirrored)
+      {0.5, 0.2, 0.4, 0.6},    // nonzero mean
+  };
+  for (const auto& w : kWindows) {
+    for (int i = 0; i < 2000; ++i) {
+      const double x = rng.TruncatedGaussian(w.mu, w.sigma, w.lo, w.hi);
+      ASSERT_GE(x, w.lo);
+      ASSERT_LE(x, w.hi);
+    }
+  }
+}
+
+TEST(RngTest, TruncatedGaussianMomentsMatchClosedForm) {
+  // Three regimes: mode-covered rejection, narrow-window uniform
+  // proposal, and the one-sided tail sampler.
+  const struct {
+    double mu, sigma, lo, hi;
+  } kCases[] = {
+      {0.0, 1.0, -1.0, 2.0},
+      {0.0, 1.0, 0.1, 0.5},
+      {0.0, 1.0, 3.0, 10.0},
+      {0.25, 0.1, 0.0, 1.0},
+  };
+  int seed = 100;
+  for (const auto& c : kCases) {
+    Rng rng(static_cast<std::uint64_t>(seed++));
+    RunningStats stats;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      stats.Add(rng.TruncatedGaussian(c.mu, c.sigma, c.lo, c.hi));
+    }
+    double mean = 0.0;
+    double stddev = 0.0;
+    TruncatedMoments(c.mu, c.sigma, c.lo, c.hi, &mean, &stddev);
+    // 5-sigma Monte Carlo band on the sample mean; stddev gets a looser
+    // relative band.
+    EXPECT_NEAR(stats.mean(), mean, 5.0 * stddev / std::sqrt(1.0 * n))
+        << "window [" << c.lo << ", " << c.hi << "]";
+    EXPECT_NEAR(stats.stddev(), stddev, 0.05 * stddev)
+        << "window [" << c.lo << ", " << c.hi << "]";
+  }
+}
+
+TEST(RngTest, TruncatedGaussianDegenerateSigmaClampsMean) {
+  Rng rng(3);
+  EXPECT_EQ(rng.TruncatedGaussian(0.5, 0.0, 0.0, 1.0), 0.5);
+  EXPECT_EQ(rng.TruncatedGaussian(-2.0, 0.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(rng.TruncatedGaussian(7.0, 0.0, 0.0, 1.0), 1.0);
+}
+
+TEST(RngTest, TruncatedGaussianDeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.TruncatedGaussian(0.0, 0.3, 0.0, 1.0),
+              b.TruncatedGaussian(0.0, 0.3, 0.0, 1.0));
+  }
+}
+
 TEST(RngTest, SplitStreamsAreIndependentlySeeded) {
   Rng parent(99);
   Rng child = parent.Split();

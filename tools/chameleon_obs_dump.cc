@@ -13,6 +13,7 @@
 // summary's counters and process rusage close the report.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -83,6 +84,51 @@ struct PrivacyCheckRow {
   double mean_entropy_bits = 0.0;
   std::string adversary;
   double wall_ms = 0.0;
+};
+
+/// One "sigma_search" record: a σ-search level summary from the
+/// anonymization driver — one per expansion/bisection level, plus a
+/// "final" phase row carrying the chosen σ.
+struct SigmaSearchRow {
+  std::string method;
+  std::string phase;
+  double level = 0.0;
+  double sigma = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool success = false;
+  double eps_hat = 0.0;
+  double attempts = 0.0;
+  double best_sigma = 0.0;
+};
+
+/// One "anonymize_attempt" record: a single GenObf attempt at a fixed
+/// σ inside the search driver.
+struct AnonymizeAttemptRow {
+  std::string method;
+  std::string phase;
+  double level = 0.0;
+  double attempt = 0.0;
+  double sigma = 0.0;
+  bool success = false;
+  double eps_hat = 0.0;
+  double perturbed_edges = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// One "relevance_progress" record: a reliability-relevance estimator
+/// checkpoint (the row flagged "final" carries the converged totals).
+struct RelevanceProgressRow {
+  std::string label;
+  double worlds = 0.0;
+  double total_worlds = 0.0;
+  double mean_err = 0.0;
+  double max_err = 0.0;
+  double mean_world_mass = 0.0;
+  double ci_halfwidth = 0.0;
+  double rel_err = 0.0;
+  bool final_seen = false;
+  bool stopped_early = false;
 };
 
 /// One "crash" record: fatal-signal forensics from the crash handler.
@@ -194,6 +240,9 @@ struct DumpResult {
   std::vector<GraphSummaryRow> graph_summaries;
   std::vector<ProfileCapture> profiles;
   std::vector<PrivacyCheckRow> privacy_checks;
+  std::vector<SigmaSearchRow> sigma_searches;
+  std::vector<AnonymizeAttemptRow> anonymize_attempts;
+  std::vector<RelevanceProgressRow> relevance_rows;
   std::vector<CrashRow> crashes;
   std::vector<WatchdogStallRow> stalls;
   std::vector<FlightDumpRow> flight_dumps;
@@ -381,6 +430,50 @@ Result<DumpResult> Load(const std::string& path) {
       row.adversary = obs::JsonlStringField(line, "adversary").value_or("?");
       row.wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
       out.privacy_checks.push_back(std::move(row));
+    } else if (*type == "sigma_search") {
+      SigmaSearchRow row;
+      row.method = obs::JsonlStringField(line, "method").value_or("?");
+      row.phase = obs::JsonlStringField(line, "phase").value_or("?");
+      row.level = obs::JsonlNumberField(line, "level").value_or(0.0);
+      row.sigma = obs::JsonlNumberField(line, "sigma").value_or(0.0);
+      row.lo = obs::JsonlNumberField(line, "lo").value_or(0.0);
+      row.hi = obs::JsonlNumberField(line, "hi").value_or(0.0);
+      row.success = line.find("\"success\":true") != std::string::npos;
+      row.eps_hat = obs::JsonlNumberField(line, "eps_hat").value_or(0.0);
+      row.attempts = obs::JsonlNumberField(line, "attempts").value_or(0.0);
+      row.best_sigma =
+          obs::JsonlNumberField(line, "best_sigma").value_or(0.0);
+      out.sigma_searches.push_back(std::move(row));
+    } else if (*type == "anonymize_attempt") {
+      AnonymizeAttemptRow row;
+      row.method = obs::JsonlStringField(line, "method").value_or("?");
+      row.phase = obs::JsonlStringField(line, "phase").value_or("?");
+      row.level = obs::JsonlNumberField(line, "level").value_or(0.0);
+      row.attempt = obs::JsonlNumberField(line, "attempt").value_or(0.0);
+      row.sigma = obs::JsonlNumberField(line, "sigma").value_or(0.0);
+      row.success = line.find("\"success\":true") != std::string::npos;
+      row.eps_hat = obs::JsonlNumberField(line, "eps_hat").value_or(0.0);
+      row.perturbed_edges =
+          obs::JsonlNumberField(line, "perturbed_edges").value_or(0.0);
+      row.wall_ms = obs::JsonlNumberField(line, "wall_ms").value_or(0.0);
+      out.anonymize_attempts.push_back(std::move(row));
+    } else if (*type == "relevance_progress") {
+      RelevanceProgressRow row;
+      row.label = obs::JsonlStringField(line, "label").value_or("?");
+      row.worlds = obs::JsonlNumberField(line, "worlds").value_or(0.0);
+      row.total_worlds =
+          obs::JsonlNumberField(line, "total_worlds").value_or(0.0);
+      row.mean_err = obs::JsonlNumberField(line, "mean_err").value_or(0.0);
+      row.max_err = obs::JsonlNumberField(line, "max_err").value_or(0.0);
+      row.mean_world_mass =
+          obs::JsonlNumberField(line, "mean_world_mass").value_or(0.0);
+      row.ci_halfwidth =
+          obs::JsonlNumberField(line, "ci_halfwidth").value_or(0.0);
+      row.rel_err = obs::JsonlNumberField(line, "rel_err").value_or(0.0);
+      row.final_seen = line.find("\"final\":true") != std::string::npos;
+      row.stopped_early =
+          line.find("\"stopped_early\":true") != std::string::npos;
+      out.relevance_rows.push_back(std::move(row));
     } else if (*type == "crash") {
       CrashRow row;
       row.signal_number = static_cast<int>(
@@ -731,6 +824,57 @@ void PrintReport(const DumpResult& dump, const std::string& sort_key,
                   row.obfuscated ? "OK" : "VIOLATED", row.not_obfuscated,
                   row.min_entropy_bits, row.mean_entropy_bits,
                   row.adversary.c_str());
+    }
+  }
+
+  if (!dump.relevance_rows.empty()) {
+    std::printf("\nreliability relevance:\n");
+    for (const RelevanceProgressRow& row : dump.relevance_rows) {
+      if (!row.final_seen && &row != &dump.relevance_rows.back()) continue;
+      std::printf("  %s: %.0f/%.0f worlds, mean ERR %.4g, max ERR %.4g, "
+                  "world mass %.4g, ci ±%.4g (rel %.4g)%s\n",
+                  row.label.c_str(), row.worlds, row.total_worlds,
+                  row.mean_err, row.max_err, row.mean_world_mass,
+                  row.ci_halfwidth, row.rel_err,
+                  row.final_seen
+                      ? (row.stopped_early ? "  [stopped early]" : "")
+                      : "  [in flight]");
+    }
+  }
+
+  if (!dump.sigma_searches.empty()) {
+    std::printf("\nsigma search:\n");
+    std::printf("%-8s %-8s %5s %10s %10s %7s %10s %8s %10s\n", "method",
+                "phase", "level", "sigma", "eps_hat", "result", "attempts",
+                "bracket", "best sigma");
+    for (const SigmaSearchRow& row : dump.sigma_searches) {
+      std::printf("%-8s %-8s %5.0f %10.4g %10.4g %7s %10.0f %8s %10.4g\n",
+                  row.method.c_str(), row.phase.c_str(), row.level,
+                  row.sigma, row.eps_hat, row.success ? "ok" : "fail",
+                  row.attempts,
+                  row.hi > 0.0 ? StrFormat("%.3g..%.3g", row.lo,
+                                           row.hi).c_str()
+                               : "-",
+                  row.best_sigma);
+    }
+  }
+
+  if (!dump.anonymize_attempts.empty()) {
+    // Per-method rollup: the per-level detail already lives in the
+    // sigma-search table above.
+    std::map<std::string, std::array<double, 4>> by_method;
+    for (const AnonymizeAttemptRow& row : dump.anonymize_attempts) {
+      auto& agg = by_method[row.method];
+      agg[0] += 1.0;
+      agg[1] += row.success ? 1.0 : 0.0;
+      agg[2] += row.wall_ms;
+      agg[3] = std::max(agg[3], row.perturbed_edges);
+    }
+    std::printf("\nanonymize attempts:\n");
+    for (const auto& [method, agg] : by_method) {
+      std::printf("  %s: %.0f attempts (%.0f succeeded), %.0f edges "
+                  "perturbed at most, %.1f ms total\n",
+                  method.c_str(), agg[0], agg[1], agg[3], agg[2]);
     }
   }
 

@@ -136,6 +136,56 @@ std::string RenderRecord(const std::string& line, WatchState* state) {
         k, eps, obfuscated ? "SATISFIED" : "VIOLATED", eps_hat, not_obf,
         vertices);
   }
+  if (*type == "anonymize_attempt") {
+    const auto method = obs::JsonlStringField(line, "method");
+    const auto phase = obs::JsonlStringField(line, "phase");
+    const double level = obs::JsonlNumberField(line, "level").value_or(0.0);
+    const double attempt =
+        obs::JsonlNumberField(line, "attempt").value_or(0.0);
+    const double sigma = obs::JsonlNumberField(line, "sigma").value_or(0.0);
+    const double eps_hat =
+        obs::JsonlNumberField(line, "eps_hat").value_or(0.0);
+    const bool success = line.find("\"success\":true") != std::string::npos;
+    return StrFormat(
+        "%s %s level %.0f attempt %.0f: sigma=%.4g -> eps_hat=%.4g %s\n",
+        method.value_or("?").c_str(), phase.value_or("?").c_str(), level,
+        attempt, sigma, eps_hat, success ? "OK" : "failed");
+  }
+  if (*type == "sigma_search") {
+    const auto method = obs::JsonlStringField(line, "method");
+    const auto phase = obs::JsonlStringField(line, "phase");
+    const double level = obs::JsonlNumberField(line, "level").value_or(0.0);
+    const double sigma = obs::JsonlNumberField(line, "sigma").value_or(0.0);
+    const double best =
+        obs::JsonlNumberField(line, "best_sigma").value_or(0.0);
+    const bool success = line.find("\"success\":true") != std::string::npos;
+    if (phase.has_value() && *phase == "final") {
+      return StrFormat("%s sigma search done: best sigma=%.4g (%s)\n",
+                       method.value_or("?").c_str(), best,
+                       success ? "feasible" : "infeasible");
+    }
+    return StrFormat("%s sigma search [%s] level %.0f: sigma=%.4g %s "
+                     "(best %.4g)\n",
+                     method.value_or("?").c_str(),
+                     phase.value_or("?").c_str(), level, sigma,
+                     success ? "succeeded" : "failed", best);
+  }
+  if (*type == "relevance_progress") {
+    const auto label = obs::JsonlStringField(line, "label");
+    const double worlds =
+        obs::JsonlNumberField(line, "worlds").value_or(0.0);
+    const double total =
+        obs::JsonlNumberField(line, "total_worlds").value_or(0.0);
+    const double mean_err =
+        obs::JsonlNumberField(line, "mean_err").value_or(0.0);
+    const double rel_err =
+        obs::JsonlNumberField(line, "rel_err").value_or(0.0);
+    const bool final_row = line.find("\"final\":true") != std::string::npos;
+    return StrFormat(
+        "relevance %s: %.0f/%.0f worlds, mean ERR %.4g, rel err %.4g%s\n",
+        label.value_or("?").c_str(), worlds, total, mean_err, rel_err,
+        final_row ? " [final]" : "");
+  }
   if (*type == "crash") {
     const auto name = obs::JsonlStringField(line, "signal_name");
     const double signal =
